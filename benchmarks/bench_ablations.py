@@ -1,0 +1,107 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* median-of-5 vs single-run measurement (noise rejection, §5.5);
+* number of sampled layouts vs prediction-interval width (§6.3);
+* predictor table pressure vs elicited MPKI spread (the interferometer's
+  signal source).
+"""
+
+import numpy as np
+
+from repro.core.interferometer import Interferometer
+from repro.core.model import PerformanceModel
+from repro.machine.counters import Counter
+from repro.machine.pmc import measure_executable
+from repro.machine.system import XeonE5440
+from repro.machine.config import XeonE5440Config
+from repro.workloads.suite import get_benchmark
+
+
+def test_ablation_median_of_five(run_once, lab):
+    """Median-of-5 cycles rejects noise spikes single runs absorb."""
+
+    def ablation():
+        benchmark = lab.benchmark("456.hmmer")
+        interferometer = lab.interferometer
+        exe = interferometer.build_executable(benchmark, 0)
+        machine = lab.machine
+        singles = np.array(
+            [
+                machine.run_once(exe, run_key=f"abl/{i}")[Counter.CYCLES]
+                for i in range(30)
+            ],
+            dtype=float,
+        )
+        medians = np.array(
+            [
+                measure_executable(
+                    machine, exe, events=[Counter.BRANCHES], runs_per_group=5
+                ).cycles
+                for _ in range(1)
+            ],
+            dtype=float,
+        )
+        # Error of a median measurement vs spread of singles.
+        center = np.median(singles)
+        return float(singles.std()), float(abs(medians[0] - center))
+
+    single_std, median_err = run_once(ablation)
+    print(f"\nsingle-run cycle std {single_std:.0f}; "
+          f"median-of-5 deviation from central value {median_err:.0f}")
+    assert median_err < 2 * single_std
+
+
+def test_ablation_sample_count_vs_interval_width(run_once, lab):
+    """More layouts -> tighter prediction interval at 0 MPKI (§6.3)."""
+
+    def ablation():
+        benchmark = lab.benchmark("445.gobmk")
+        observations = lab.observations("445.gobmk")
+        n = len(observations)
+        halves = {}
+        for count in (n // 2, n):
+            from repro.core.observations import ObservationSet
+
+            subset = ObservationSet(benchmark=benchmark.name)
+            subset.extend(observations.observations[:count])
+            model = PerformanceModel.from_observations(subset)
+            halves[count] = model.perfect_event_prediction().prediction.half_width
+        return halves
+
+    halves = run_once(ablation)
+    counts = sorted(halves)
+    print(f"\nPI half-width at 0 MPKI by sample count: "
+          + ", ".join(f"n={c}: {halves[c]:.4f}" for c in counts))
+    assert halves[counts[-1]] <= halves[counts[0]] * 1.25  # usually shrinks
+
+
+def test_ablation_table_pressure_vs_mpki_spread(run_once, lab):
+    """Smaller predictor tables alias more, widening the MPKI spread the
+    interferometer has to work with — the paper's signal source (§4.2)."""
+
+    def ablation():
+        benchmark = get_benchmark("445.gobmk")
+        spreads = {}
+        for label, bimodal, glob, chooser in (
+            ("small", 512, 1024, 512),
+            ("default", 2048, 4096, 2048),
+            ("large", 8192, 16384, 8192),
+        ):
+            config = XeonE5440Config(
+                bimodal_entries=bimodal,
+                global_entries=glob,
+                chooser_entries=chooser,
+            )
+            machine = XeonE5440(config=config, seed=lab.machine.seed)
+            interferometer = Interferometer(
+                machine, trace_events=lab.scale.trace_events
+            )
+            observations = interferometer.observe(
+                benchmark, n_layouts=min(12, lab.scale.n_layouts)
+            )
+            spreads[label] = float(observations.mpkis.std())
+        return spreads
+
+    spreads = run_once(ablation)
+    print(f"\nMPKI std by table size: {spreads}")
+    assert spreads["small"] > spreads["large"]

@@ -1,0 +1,62 @@
+"""Ablation: do anti-aliasing predictor organizations starve the method?
+
+§2.2 worries that widely deployed aliasing-resistant designs would
+remove the variance interferometry feeds on.  This bench quantifies the
+threat for the agree and bi-mode organizations on the same reordered
+executables: it reports each design's accuracy and its layout-to-layout
+MPKI spread next to the shipped hybrid's.
+
+Observed result at our trace scales: the *relative* layout sensitivity
+of agree/bi-mode stays comparable to the hybrid's — their anti-aliasing
+helps most against opposite-bias destructive pairs (see
+tests/test_predictors_antialiasing.py), while the broader index-
+collision churn that drives interferometry's signal survives.  The
+§2.2 threat, for these organizations, does not materialize.
+"""
+
+import numpy as np
+
+from repro.pintool.brsim import PinTool
+from repro.uarch.predictors.agree import AgreePredictor
+from repro.uarch.predictors.bimode import BiModePredictor
+from repro.uarch.predictors.hybrid import HybridPredictor
+
+
+def test_antialiasing_layout_sensitivity(run_once, lab):
+    def experiment():
+        benchmark = lab.benchmark("445.gobmk")
+        observations = lab.observations("445.gobmk")
+        layouts = min(12, len(observations))
+        tool = PinTool(
+            [
+                HybridPredictor(2048, 4096, 8, 2048, name="hybrid-twin"),
+                AgreePredictor(entries=4096, history_bits=8, name="agree"),
+                BiModePredictor(entries=4096, history_bits=8, name="bimode"),
+            ],
+            warmup_fraction=lab.machine.config.warmup_fraction,
+        )
+        spreads: dict[str, list[float]] = {}
+        for obs in observations.observations[:layouts]:
+            executable = lab.interferometer.build_executable(
+                benchmark, obs.layout_index
+            )
+            for name, result in tool.run(executable).items():
+                spreads.setdefault(name, []).append(result.mpki)
+        return {
+            name: (float(np.mean(v)), float(np.std(v))) for name, v in spreads.items()
+        }
+
+    stats = run_once(experiment)
+    print()
+    for name, (mean, std) in sorted(stats.items()):
+        print(f"  {name:<12} MPKI {mean:6.2f} ± {std:.3f} "
+              f"(relative spread {std / mean * 100:.1f}%)")
+    hybrid_mean, hybrid_std = stats["hybrid-twin"]
+    hybrid_rel = hybrid_std / hybrid_mean
+    for name in ("agree", "bimode"):
+        mean, std = stats[name]
+        assert mean > 0 and std > 0
+        # The layout signal survives the anti-aliasing organization:
+        # relative spread stays within 50% of the hybrid's in either
+        # direction (i.e. it is neither eliminated nor exploded).
+        assert 0.5 * hybrid_rel <= std / mean <= 1.5 * hybrid_rel

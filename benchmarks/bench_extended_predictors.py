@@ -1,0 +1,18 @@
+"""Extension study: the full predictor zoo under the paper's methodology."""
+
+from repro.harness import extended
+
+
+def test_extended_predictor_study(run_once, lab):
+    result = run_once(lambda: extended.run(lab))
+    print()
+    print(result.render())
+    for benchmark in extended.STUDY_BENCHMARKS:
+        rows = result.rows_for(benchmark)
+        assert len(rows) == 6
+        # Predicted CPI must be monotone in MPKI (it is a linear model).
+        cpis = [row.predicted_cpi for row in rows]
+        assert cpis == sorted(cpis)
+        # TAGE should be among the best designs on every benchmark.
+        ranked = [row.predictor for row in rows]
+        assert ranked.index("TAGE") <= 2

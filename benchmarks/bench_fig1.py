@@ -1,0 +1,13 @@
+"""Figure 1 — violin plots of CPI variation under code reordering."""
+
+from repro.harness import fig1
+
+
+def test_fig1_violins(run_once, lab):
+    result = run_once(lambda: fig1.run(lab))
+    print()
+    print(result.render())
+    assert len(result.rows) == 23
+    # Shape check: the insensitive FP benchmarks show the least spread.
+    by_name = {row.benchmark: row for row in result.rows}
+    assert by_name["470.lbm"].std_pct < by_name["445.gobmk"].std_pct

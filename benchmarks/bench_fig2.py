@@ -1,0 +1,16 @@
+"""Figure 2 — MPKI vs CPI regression with CI/PI for perlbench/omnetpp."""
+
+from repro.harness import fig2
+
+
+def test_fig2_regression_bands(run_once, lab):
+    result = run_once(lambda: fig2.run(lab))
+    print()
+    print(result.render())
+    for panel in result.panels:
+        # Shape checks: positive misprediction cost, significant fit,
+        # bands ordered.
+        assert panel.model.slope > 0
+        assert panel.model.is_significant()
+        assert (panel.pi_low <= panel.ci_low).all()
+        assert (panel.ci_high <= panel.pi_high).all()

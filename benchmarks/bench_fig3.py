@@ -1,0 +1,34 @@
+"""Figure 3 — cache models for 454.calculix under heap randomization.
+
+Includes the ablation the paper implies: code reordering *alone* gives
+the data caches no variance to regress on; adding the randomizing
+allocator is what elicits it.
+"""
+
+from repro.harness import fig3
+
+
+def test_fig3_cache_models(run_once, lab):
+    result = run_once(lambda: fig3.run(lab))
+    print()
+    print(result.render())
+    assert result.l1_panel.model.slope > 0
+    assert result.l2_panel.model.slope > 0
+    # At small scale and above, both relationships are significant.
+    if lab.scale.n_layouts >= 40:
+        assert result.l1_panel.model.is_significant()
+        assert result.l2_panel.model.is_significant()
+
+
+def test_fig3_ablation_heap_randomization_needed(run_once, lab):
+    """Without heap randomization, L1D misses barely move."""
+
+    def ablation():
+        code_only = lab.observations("454.calculix").series("l1d_mpki")
+        randomized = lab.heap_observations("454.calculix").series("l1d_mpki")
+        return float(code_only.std()), float(randomized.std())
+
+    code_std, heap_std = run_once(ablation)
+    print(f"\nL1D MPKI std: code reordering only {code_std:.4f}, "
+          f"+heap randomization {heap_std:.4f}")
+    assert heap_std > code_std * 3

@@ -1,0 +1,17 @@
+"""Figure 4 — MASE linearity study: regression-extrapolation errors."""
+
+from repro.harness import fig4
+
+
+def test_fig4_linearity_errors(run_once, lab):
+    result = run_once(lambda: fig4.run(lab))
+    print()
+    print(result.render())
+    study = result.study
+    # Paper shapes: the two SPEC2000 outliers dominate the error
+    # ranking; estimating L-TAGE (interpolation) is far more accurate
+    # than extrapolating to perfect prediction.
+    worst = study.sorted_by_perfect_error()[-2:]
+    assert {b.benchmark for b in worst} == {"252.eon", "178.galgel"}
+    assert study.mean_ltage_error < study.mean_perfect_error
+    assert study.mean_perfect_error < 5.0  # paper: 1.32%

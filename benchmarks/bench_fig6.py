@@ -1,0 +1,19 @@
+"""Figure 6 — blame assignment: cumulative r² per event + combined model."""
+
+from repro.harness import fig6
+
+
+def test_fig6_blame(run_once, lab):
+    result = run_once(lambda: fig6.run(lab))
+    print()
+    print(result.render())
+    assert len(result.reports) == 23
+    # Shape checks: branch mispredictions are the dominant blame for the
+    # great majority of benchmarks; the combined model never explains
+    # less than the best single event where it fits; insensitive FP
+    # benchmarks have near-zero branch blame.
+    dominant_branch = sum(1 for r in result.reports if r.dominant_event == "mpki")
+    assert dominant_branch >= 15
+    by_name = {r.benchmark: r for r in result.reports}
+    assert by_name["470.lbm"].per_event["mpki"].r_squared < 0.3
+    assert by_name["462.libquantum"].per_event["mpki"].r_squared > 0.6

@@ -1,0 +1,22 @@
+"""Figure 7 — MPKI of real and simulated branch predictors."""
+
+from repro.harness import fig7
+from repro.harness.fig7 import PREDICTOR_ORDER
+
+
+def test_fig7_predictor_mpki(run_once, lab):
+    result = run_once(lambda: fig7.run(lab))
+    print()
+    print(result.render())
+    # Paper shapes: GAs accuracy grows with budget; the real predictor
+    # lands between GAs-4KB and GAs-8KB; L-TAGE beats everything.
+    averages = [result.average_mpki(name) for name in PREDICTOR_ORDER]
+    gas = averages[:4]
+    assert gas == sorted(gas, reverse=True)  # 2KB worst ... 16KB best
+    real = result.average_mpki("real")
+    assert result.average_mpki("GAs-4KB") > real > result.average_mpki("GAs-8KB") * 0.85
+    ltage = result.average_mpki("L-TAGE")
+    assert ltage < min(gas)
+    # Paper: L-TAGE improves on the real predictor by 37%.
+    improvement = (real - ltage) / real * 100
+    assert 20 < improvement < 55

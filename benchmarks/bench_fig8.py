@@ -1,0 +1,22 @@
+"""Figure 8 — predicted CPI of real and simulated predictors (§7.2)."""
+
+from repro.harness import fig8
+
+
+def test_fig8_predicted_cpi(run_once, lab):
+    result = run_once(lambda: fig8.run(lab))
+    print()
+    print(result.render())
+    real, _ = result.real_cpi
+    perfect, perfect_half = result.perfect_cpi
+    ltage, _ = result.predictor_cpi("L-TAGE")
+    # §7.2.1: perfect prediction improves on the real predictor —
+    # paper measured 7-16% with an 11.8% average.
+    assert perfect < real
+    assert 5.0 < result.perfect_improvement_percent < 20.0
+    # §7.2.2: L-TAGE sits between the real predictor and perfect —
+    # paper measured a 4.8% average improvement.
+    assert perfect < ltage < real
+    assert 1.0 < result.ltage_improvement_percent < 10.0
+    # Prediction intervals widen toward 0 MPKI (extrapolation).
+    assert perfect_half > 0.0

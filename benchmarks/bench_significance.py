@@ -1,0 +1,32 @@
+"""§4.6/§6.4 — the 20-of-23 significance screen, plus headline numbers."""
+
+from repro.harness import headline, significance
+
+
+def test_significance_screen(run_once, lab):
+    result = run_once(lambda: significance.run(lab))
+    print()
+    print(result.render())
+    assert len(result.rows) == 23
+    # Paper: 20 of 23 reject the null hypothesis.  Allow one borderline
+    # miss below paper scale.
+    if lab.scale.name == "paper":
+        assert result.n_significant == 20
+    else:
+        assert 18 <= result.n_significant <= 21
+    by_name = {row.benchmark: row for row in result.rows}
+    for name in ("410.bwaves", "470.lbm"):
+        assert not by_name[name].significant
+
+
+def test_headline_predictions(run_once, lab):
+    result = run_once(lambda: headline.run(lab))
+    print()
+    print(result.render())
+    # §1.4 shapes: perfect prediction improves perlbench by a double-digit
+    # percentage (paper: 26%); halving MPKI gives about half that
+    # improvement (paper: 13%); a 10% CPI improvement needs a large
+    # misprediction reduction (paper: 38%).
+    assert 8.0 < result.perfect_improvement_percent < 40.0
+    assert result.halved_improvement_percent < result.perfect_improvement_percent
+    assert 20.0 < result.reduction_for_10pct < 90.0

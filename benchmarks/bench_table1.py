@@ -1,0 +1,20 @@
+"""Table 1 — per-benchmark regression models with PIs at 0 MPKI."""
+
+from repro.harness import table1
+
+
+def test_table1_models(run_once, lab):
+    result = run_once(lambda: table1.run(lab))
+    print()
+    print(result.render())
+    assert len(result.rows) >= 18  # paper: 20 significant benchmarks
+    for row in result.rows:
+        # Slopes are the per-MPKI CPI cost: positive, order of the
+        # misprediction penalty / 1000 (paper: 0.016-0.041 for all but
+        # two ill-conditioned benchmarks).
+        assert row.slope > 0
+        assert row.low < row.intercept < row.high
+    # mcf's intercept dwarfs the int benchmarks' (paper: 4.675 vs ~0.5).
+    by_name = {row.benchmark: row for row in result.rows}
+    if "429.mcf" in by_name and "456.hmmer" in by_name:
+        assert by_name["429.mcf"].intercept > 3 * by_name["456.hmmer"].intercept

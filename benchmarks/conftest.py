@@ -1,0 +1,33 @@
+"""Benchmark fixtures.
+
+The benchmarks regenerate the paper's tables and figures and print the
+resulting rows, so ``pytest benchmarks/ --benchmark-only -s`` doubles as
+the reproduction report.  Each experiment runs exactly once
+(``benchmark.pedantic(rounds=1)``): the quantity of interest is the
+experiment's output, not micro-timing stability, and campaigns are
+cached in the shared laboratory anyway.
+
+Scale with ``REPRO_SCALE`` (ci / small / paper); default is ``small``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.lab import Laboratory, get_lab
+
+
+@pytest.fixture(scope="session")
+def lab() -> Laboratory:
+    """Process-wide laboratory at the environment's scale."""
+    return get_lab()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Turning interferometry inside out: optimize code placement (§2.2).
+
+The same mechanism interferometry *measures* — layout-dependent
+collisions in the predictor tables — can be *exploited*: search for a
+procedure/object-file order that steers hot branches away from
+conflicts (Pettis & Hansen; Jiménez, PLDI 2005; Knights et al.).
+
+This example:
+
+1. samples random layouts of 445.gobmk and measures their CPI spread,
+2. applies the Pettis-Hansen-style hot-grouping heuristic,
+3. hill-climbs with the conflict-avoiding placer (scored by simulating
+   the machine's own predictor), and
+4. shows where the optimized layout lands in the random-layout
+   distribution — and why widely deployed placement optimization would
+   shrink the variance interferometry feeds on (§2.2).
+
+Run:  python examples/code_placement.py
+"""
+
+import numpy as np
+
+from repro import Camino, Counter, XeonE5440, get_benchmark, measure_executable
+from repro.toolchain.placement import ConflictAvoidingPlacer, hot_grouping_order
+
+
+def _measure_layout(machine, camino, benchmark, trace, object_files):
+    exe = camino.build_custom(benchmark.spec, trace, list(object_files))
+    return measure_executable(machine, exe, events=[Counter.BRANCH_MISPREDICTS])
+
+
+def main() -> None:
+    machine = XeonE5440(seed=1)
+    camino = Camino()
+    benchmark = get_benchmark("445.gobmk")
+    trace = benchmark.trace(10000)
+
+    print(f"benchmark: {benchmark.name}")
+    n = 25
+    print(f"\n1) measuring {n} random layouts...")
+    random_cpis = []
+    random_mpkis = []
+    for seed in range(n):
+        exe = camino.build(benchmark.spec, trace, layout_seed=seed)
+        m = measure_executable(machine, exe, events=[Counter.BRANCH_MISPREDICTS])
+        random_cpis.append(m.cpi)
+        random_mpkis.append(m.mpki)
+    random_cpis = np.array(random_cpis)
+    random_mpkis = np.array(random_mpkis)
+    print(f"   CPI  {random_cpis.mean():.4f} ± {random_cpis.std():.4f} "
+          f"(range {random_cpis.min():.4f} .. {random_cpis.max():.4f})")
+    print(f"   MPKI {random_mpkis.mean():.2f} ± {random_mpkis.std():.2f}")
+
+    print("\n2) Pettis-Hansen-style hot grouping...")
+    hot = hot_grouping_order(benchmark.spec, trace)
+    m_hot = _measure_layout(machine, camino, benchmark, trace, hot)
+    print(f"   CPI {m_hot.cpi:.4f}, MPKI {m_hot.mpki:.2f}")
+
+    print("\n3) conflict-avoiding hill-climb (scoring = simulate the "
+          "machine's own predictor)...")
+    placer = ConflictAvoidingPlacer()
+    result = placer.optimize(
+        benchmark.spec, trace, iterations=120, seed=7, start=hot
+    )
+    print(f"   search: {result.accepted_moves} accepted moves, score "
+          f"{result.initial_score} -> {result.final_score} "
+          f"({result.improvement_percent:.1f}% fewer mispredictions)")
+    m_opt = _measure_layout(
+        machine, camino, benchmark, trace, list(result.object_files)
+    )
+    print(f"   CPI {m_opt.cpi:.4f}, MPKI {m_opt.mpki:.2f}")
+
+    beaten = float((random_cpis > m_opt.cpi).mean()) * 100
+    print(f"\n4) the optimized layout beats {beaten:.0f}% of random layouts.")
+    print("   If compilers shipped such placements by default, the violin "
+          "of Figure 1 would\n   collapse toward this point — and program "
+          "interferometry would lose its signal (§2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Evaluate hypothetical branch predictors for an existing machine (§7).
+
+The scenario the paper's conclusion motivates: a design team wants to
+know what replacing the Xeon's predictor would buy *on the Xeon*,
+before spending design effort.  Interferometry provides the per-program
+CPI-vs-MPKI model from counter measurements; a Pin-style functional
+simulation provides each candidate's MPKI on the same executables; the
+model converts MPKI into predicted CPI with prediction intervals.
+
+Candidates here: the paper's GAs budget sweep, L-TAGE, and — as an
+extension beyond the paper — a perceptron predictor.
+
+Run:  python examples/evaluate_new_predictor.py
+"""
+
+from repro import (
+    Interferometer,
+    LTagePredictor,
+    PerceptronPredictor,
+    PredictorEvaluator,
+    XeonE5440,
+    get_benchmark,
+)
+from repro.uarch.predictors.gas import gas_hybrid_family
+
+BENCHMARKS = ("400.perlbench", "445.gobmk", "462.libquantum")
+
+
+def main() -> None:
+    machine = XeonE5440(seed=1)
+    interferometer = Interferometer(machine, trace_events=10000)
+
+    candidates = gas_hybrid_family() + [
+        LTagePredictor(),
+        PerceptronPredictor(entries=1024, history_bits=12, name="perceptron"),
+    ]
+    evaluator = PredictorEvaluator(interferometer, candidates)
+
+    for name in BENCHMARKS:
+        benchmark = get_benchmark(name)
+        observations = interferometer.observe(benchmark, n_layouts=20)
+        evaluation = evaluator.evaluate(benchmark, observations)
+
+        print(f"\n{name}: real predictor "
+              f"MPKI {evaluation.real_mean_mpki:.2f}, "
+              f"CPI {evaluation.real_mean_cpi:.3f} "
+              f"± {evaluation.real_cpi_confidence.half_width:.3f} (95% CI)")
+        print(f"  {'candidate':<12} {'MPKI':>6}  {'pred. CPI':>22}  {'vs real':>8}")
+        for outcome in sorted(evaluation.outcomes, key=lambda o: o.mean_mpki):
+            pred = outcome.predicted_cpi
+            delta = evaluation.predicted_improvement_percent(outcome.predictor)
+            print(f"  {outcome.predictor:<12} {outcome.mean_mpki:>6.2f}  "
+                  f"{pred.mean:>7.3f} [{pred.prediction.low:.3f}, "
+                  f"{pred.prediction.high:.3f}]  {delta:>+7.1f}%")
+        perfect = evaluation.model.perfect_event_prediction()
+        print(f"  {'(perfect)':<12} {0.0:>6.2f}  "
+              f"{perfect.mean:>7.3f} [{perfect.prediction.low:.3f}, "
+              f"{perfect.prediction.high:.3f}]")
+
+
+if __name__ == "__main__":
+    main()

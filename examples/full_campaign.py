@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""A production campaign: machine park, persistence, and reporting.
+
+The paper's methodology at operational scale (§5.4-§5.7): a park of
+four identically configured machines, each benchmark pinned to one
+machine and one core, campaigns run in parallel, raw measurements
+archived, and the Table-1-style report built from the archive — so the
+expensive measurement step never has to be repeated for re-analysis.
+
+Run:  python examples/full_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    PerformanceModel,
+    export_observations_csv,
+    load_observations,
+    save_observations,
+)
+from repro.core.park import MachinePark
+
+BENCHMARKS = ("400.perlbench", "445.gobmk", "462.libquantum", "470.lbm")
+
+
+def main() -> None:
+    park = MachinePark(n_machines=4, base_seed=1, trace_events=10000)
+    print(f"machine park: {park.n_machines} identical machines")
+    for name in BENCHMARKS:
+        print(f"  {name} -> machine {park.machine_for(name)}")
+
+    print("\nrunning campaigns (2 worker processes)...")
+    results = park.observe_suite(BENCHMARKS, n_layouts=16, workers=2)
+
+    archive = Path(tempfile.mkdtemp(prefix="interferometry-"))
+    print(f"archiving raw measurements to {archive}/")
+    for name, observations in results.items():
+        slug = name.replace(".", "_")
+        save_observations(observations, archive / f"{slug}.json")
+        export_observations_csv(observations, archive / f"{slug}.csv")
+
+    print("\nre-analysis from the archive (no re-measurement):")
+    print(f"  {'benchmark':<16} {'slope':>8} {'intercept':>10} "
+          f"{'PI @ 0 MPKI':>18} {'significant':>12}")
+    for name in BENCHMARKS:
+        slug = name.replace(".", "_")
+        observations = load_observations(archive / f"{slug}.json")
+        try:
+            model = PerformanceModel.from_observations(observations)
+        except Exception:
+            print(f"  {name:<16} {'-':>8} {'-':>10} {'-':>18} {'no variance':>12}")
+            continue
+        prediction = model.perfect_event_prediction()
+        significant = "yes" if model.is_significant() else "no"
+        print(f"  {name:<16} {model.slope:>8.4f} {model.intercept:>10.3f} "
+              f"[{prediction.prediction.low:.3f}, "
+              f"{prediction.prediction.high:.3f}]  {significant:>10}")
+    print("\n(470.lbm fails the t-test by design: its branch behaviour "
+          "gives interferometry\n nothing to measure — the §4.6 failure mode.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Extending interferometry to a new structure: indirect branches (§8).
+
+The paper closes with "in future work we will extend this technique to
+other structures".  This example does exactly that, end to end, for the
+indirect-branch target predictor (§4.1 lists it among the
+address-hashed structures):
+
+1. build an interpreter-like program with a hot indirect dispatch site,
+   using the public program-construction API;
+2. run the standard interferometry campaign, additionally counting the
+   BR_IND_MISSP event;
+3. regress CPI on indirect mispredictions per kilo-instruction;
+4. simulate an ITTAGE-style target predictor over the same executables
+   and use the model to predict the CPI it would deliver.
+
+Run:  python examples/indirect_interferometry.py
+"""
+
+import numpy as np
+
+from repro import Camino, Counter, XeonE5440, measure_executable
+from repro.core.interferometer import layout_seed
+from repro.program.behavior import (
+    BiasedBehavior,
+    GlobalCorrelatedBehavior,
+    IndirectTargetBehavior,
+    LoopBehavior,
+)
+from repro.program.structure import (
+    BranchSite,
+    ProcedureSpec,
+    ProgramSpec,
+    SourceFile,
+)
+from repro.program.tracegen import generate_trace
+from repro.stats.hypothesis_tests import t_test_correlation
+from repro.stats.intervals import prediction_interval_new_response
+from repro.stats.regression import fit_simple
+from repro.uarch.predictors.indirect import IttageLitePredictor
+
+
+def build_interpreter() -> ProgramSpec:
+    """A bytecode-interpreter-shaped program: dispatch loops with
+    per-opcode handlers, built through the public API."""
+    procedures = []
+    n_loops = 48  # enough dispatch sites to pressure the target table
+    for loop_idx in range(n_loops):
+        dispatch = BranchSite(
+            name=f"dispatch{loop_idx}",
+            offset=48,
+            behavior=BiasedBehavior(1.0),
+            instr_gap=5,
+            target_behavior=IndirectTargetBehavior(
+                n_targets=4 + loop_idx % 5,
+                repeat_prob=0.2,
+                history_weight=0.8,
+            ),
+        )
+        guards = tuple(
+            BranchSite(
+                name=f"guard{loop_idx}_{i}",
+                offset=48 + 56 * (i + 1),
+                behavior=(
+                    LoopBehavior(trip_count=6)
+                    if i == 0
+                    else GlobalCorrelatedBehavior(history_bits=(0, 2), noise=0.05)
+                    if i == 1
+                    else BiasedBehavior(0.93)
+                ),
+                instr_gap=6,
+            )
+            for i in range(3)
+        )
+        procedures.append(
+            ProcedureSpec(
+                name=f"oploop{loop_idx}",
+                sites=(dispatch,) + guards,
+                weight=3.0 if loop_idx < 8 else 1.0,
+                # Diverse code sizes: uniform procedure sizes would
+                # quantize every layout onto the same few target-table
+                # slots (a real pathology, but it hides layout effects).
+                tail_bytes=16 + (loop_idx * 52) % 224,
+            )
+        )
+    for helper_idx in range(10):
+        procedures.append(
+            ProcedureSpec(
+                name=f"helper{helper_idx}",
+                sites=(
+                    BranchSite(
+                        name=f"h{helper_idx}",
+                        offset=32,
+                        behavior=BiasedBehavior(0.96),
+                        instr_gap=7,
+                    ),
+                ),
+                weight=0.5,
+            )
+        )
+    files = (
+        SourceFile(name="interp0.o",
+                   procedure_names=tuple(f"oploop{i}" for i in range(0, 16))),
+        SourceFile(name="interp1.o",
+                   procedure_names=tuple(f"oploop{i}" for i in range(16, 32))),
+        SourceFile(name="interp2.o",
+                   procedure_names=tuple(f"oploop{i}" for i in range(32, 48))),
+        SourceFile(name="runtime.o",
+                   procedure_names=tuple(f"helper{i}" for i in range(10))),
+    )
+    return ProgramSpec(
+        name="pyterp", procedures=tuple(procedures), files=files,
+        intrinsic_cpi=0.5,
+    )
+
+
+def main() -> None:
+    spec = build_interpreter()
+    trace = generate_trace(spec, seed=99, n_events=12000)
+    machine = XeonE5440(seed=1)
+    camino = Camino()
+    warmup = int(trace.n_events * machine.config.warmup_fraction)
+
+    print(f"program: {spec.name} — {spec.n_sites} sites, "
+          f"{int((trace.targets >= 0).sum())} dynamic indirect branches")
+
+    n_layouts = 30
+    cpis, ind_mpkis, ittage_mpkis = [], [], []
+    ittage = IttageLitePredictor(entries=2048)
+    for i in range(n_layouts):
+        exe = camino.build(spec, trace, layout_seed=layout_seed(spec.name, i))
+        m = measure_executable(
+            machine, exe,
+            events=[Counter.INDIRECT_MISPREDICTS, Counter.BRANCH_MISPREDICTS],
+        )
+        cpis.append(m.cpi)
+        ind_mpkis.append(m.per_kilo_instruction(Counter.INDIRECT_MISPREDICTS))
+        misses = ittage.simulate(
+            exe.branch_address_stream(), exe.trace.targets, warmup=warmup
+        )
+        ittage_mpkis.append(misses / m.instructions * 1000.0)
+    cpis = np.array(cpis)
+    ind_mpkis = np.array(ind_mpkis)
+
+    print(f"\ncampaign over {n_layouts} layouts:")
+    print(f"  CPI {cpis.mean():.3f} ± {cpis.std():.3f}")
+    print(f"  indirect misses/kinstr {ind_mpkis.mean():.2f} ± {ind_mpkis.std():.2f}")
+
+    fit = fit_simple(ind_mpkis, cpis)
+    test = t_test_correlation(ind_mpkis, cpis)
+    print(f"\nmodel: CPI = {fit.slope:.5f} * indirect-MPKI + {fit.intercept:.5f}")
+    print(f"  r^2 = {fit.r_squared:.3f}, p = {test.p_value:.2e} "
+          f"({'significant' if test.rejects_null() else 'not significant'})")
+
+    ittage_mean = float(np.mean(ittage_mpkis))
+    prediction = prediction_interval_new_response(fit, ittage_mean)
+    improvement = (cpis.mean() - prediction.center) / cpis.mean() * 100
+    print(f"\ncandidate: ITTAGE-lite target predictor — {ittage_mean:.2f} "
+          f"indirect-MPKI (machine's last-target BTB: {ind_mpkis.mean():.2f})")
+    print(f"  predicted CPI {prediction.center:.3f} "
+          f"[{prediction.low:.3f}, {prediction.high:.3f}] — "
+          f"{improvement:+.1f}% vs the shipped machine")
+    if improvement < 0:
+        print("  verdict: on this workload the candidate LOSES — its short "
+              "target history\n  cannot track 48 interleaved dispatch sites. "
+              "Exactly the kind of negative\n  result §7.2.3 wants settled "
+              "*before* spending design effort on silicon.")
+    else:
+        print("  verdict: the candidate pays for itself on this workload.")
+    print("\nThe §8 recipe generalizes: any address-hashed structure whose "
+          "adverse events a\ncounter exposes can be modeled the same way.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — Program Interferometry (Wang & Jiménez, IISWC 2011), reproduced.
+
+Program interferometry measures the performance impact of
+address-hashed microarchitectural structures (branch predictor tables,
+caches) by running many semantically equivalent executables whose code
+and heap layouts differ, and regressing performance on the adverse
+events each layout elicits.
+
+Quickstart::
+
+    from repro import (
+        Camino, Interferometer, PerformanceModel, XeonE5440, get_benchmark,
+    )
+
+    machine = XeonE5440(seed=1)
+    interferometer = Interferometer(machine)
+    benchmark = get_benchmark("400.perlbench")
+    observations = interferometer.observe(benchmark, n_layouts=40)
+    model = PerformanceModel.from_observations(observations)
+    print(model.slope, model.intercept)
+    print(model.perfect_event_prediction().prediction)  # CPI at 0 MPKI
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import (
+    BlameAnalysis,
+    Interferometer,
+    ObservationSet,
+    PerformanceModel,
+    PredictorEvaluator,
+    SampleEscalation,
+    layout_seed,
+    run_cache_interferometry,
+)
+from repro.errors import ReproError
+from repro.heap import DieHardAllocator, SequentialAllocator
+from repro.machine import XeonE5440, XeonE5440Config, measure_executable
+from repro.machine.counters import Counter
+from repro.mase import LinearityStudy, MaseSimulator
+from repro.pintool import PinTool
+from repro.persistence import (
+    export_observations_csv,
+    load_observations,
+    load_trace,
+    save_observations,
+    save_trace,
+)
+from repro.stats.bootstrap import bootstrap_interval, bootstrap_regression_prediction
+from repro.toolchain import Camino, Executable
+from repro.toolchain.placement import ConflictAvoidingPlacer, hot_grouping_order
+from repro.uarch import (
+    AgreePredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    GskewPredictor,
+    HybridPredictor,
+    LTagePredictor,
+    PerceptronPredictor,
+    PerfectPredictor,
+    TagePredictor,
+)
+from repro.workloads import Benchmark, get_benchmark, mase_suite, spec2006
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgreePredictor",
+    "Benchmark",
+    "BiModePredictor",
+    "BimodalPredictor",
+    "BlameAnalysis",
+    "BranchPredictor",
+    "Camino",
+    "ConflictAvoidingPlacer",
+    "Counter",
+    "DieHardAllocator",
+    "Executable",
+    "GAsPredictor",
+    "GsharePredictor",
+    "GskewPredictor",
+    "HybridPredictor",
+    "Interferometer",
+    "LTagePredictor",
+    "LinearityStudy",
+    "MaseSimulator",
+    "ObservationSet",
+    "PerceptronPredictor",
+    "PerfectPredictor",
+    "PerformanceModel",
+    "PinTool",
+    "PredictorEvaluator",
+    "ReproError",
+    "SampleEscalation",
+    "SequentialAllocator",
+    "TagePredictor",
+    "XeonE5440",
+    "XeonE5440Config",
+    "bootstrap_interval",
+    "bootstrap_regression_prediction",
+    "export_observations_csv",
+    "get_benchmark",
+    "hot_grouping_order",
+    "layout_seed",
+    "load_observations",
+    "load_trace",
+    "mase_suite",
+    "measure_executable",
+    "run_cache_interferometry",
+    "save_observations",
+    "save_trace",
+    "spec2006",
+    "__version__",
+]

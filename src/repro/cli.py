@@ -1,0 +1,119 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    repro-interferometry --list
+    repro-interferometry fig2 table1
+    REPRO_SCALE=paper repro-interferometry all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.harness import SCALES, Laboratory, get_lab
+from repro.harness import (  # noqa: F401 - imported for registry
+    extended,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    headline,
+    significance,
+    table1,
+)
+
+#: Experiment registry: name -> regenerator.
+EXPERIMENTS: dict[str, Callable[[Laboratory], object]] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "table1": table1.run,
+    "significance": significance.run,
+    "headline": headline.run,
+    "extended": extended.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-interferometry",
+        description="Regenerate Program Interferometry (IISWC 2011) experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (or 'all'); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="sampling scale (overrides REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="after running, export every figure's plottable series as CSV",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the installation self-check battery and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        from repro.validation import render_selftest, run_selftest
+
+        results = run_selftest()
+        print(render_selftest(results))
+        return 0 if all(r.passed for r in results) else 1
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("scale via REPRO_SCALE env var: ci | small (default) | paper")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    lab = Laboratory(scale=SCALES[args.scale]) if args.scale else get_lab()
+    print(f"scale: {lab.scale.name} ({lab.scale.n_layouts} layouts, "
+          f"{lab.scale.trace_events} trace events)")
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](lab)
+        elapsed = time.time() - start
+        print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
+        print(result.render())
+    if args.export:
+        from repro.harness.export import export_all
+
+        paths = export_all(lab, args.export)
+        print(f"\nexported {len(paths)} CSV files to {args.export}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

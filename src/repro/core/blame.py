@@ -1,0 +1,115 @@
+"""Blame assignment (§6.1-§6.4, Figure 6).
+
+For each microarchitectural event we compute r² between the event rate
+and CPI across layouts — "what portion of performance is due to a
+particular microarchitectural event" — plus the combined multilinear
+model.  The combined r² is generally less than the sum of the parts
+because the events are not independent (a misprediction may pollute or
+prefetch the cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.model import CombinedModel, PerformanceModel
+from repro.core.observations import ObservationSet
+from repro.errors import ModelError
+
+#: The three events the paper blames (§6.1).
+DEFAULT_EVENTS = ("mpki", "l1i_mpki", "l2_mpki")
+
+
+@dataclass(frozen=True)
+class EventBlame:
+    """One event's share of the CPI variance."""
+
+    metric: str
+    r_squared: float
+    p_value: float
+    significant: bool
+
+
+@dataclass(frozen=True)
+class BlameReport:
+    """Figure 6's content for one benchmark."""
+
+    benchmark: str
+    events: tuple[EventBlame, ...]
+    combined_r_squared: float
+    combined_p_value: float
+    combined_significant: bool
+
+    @property
+    def per_event(self) -> Mapping[str, EventBlame]:
+        """Event blames keyed by metric name."""
+        return {blame.metric: blame for blame in self.events}
+
+    @property
+    def sum_of_parts(self) -> float:
+        """Sum of individual r² values (the stacked bar of Fig. 6)."""
+        return sum(blame.r_squared for blame in self.events)
+
+    @property
+    def dominant_event(self) -> str:
+        """The event explaining the most CPI variance."""
+        return max(self.events, key=lambda blame: blame.r_squared).metric
+
+
+class BlameAnalysis:
+    """Computes blame reports over observation sets."""
+
+    def __init__(self, events: Sequence[str] = DEFAULT_EVENTS, alpha: float = 0.05) -> None:
+        if not events:
+            raise ModelError("need at least one event to blame")
+        if not 0.0 < alpha < 1.0:
+            raise ModelError(f"alpha must be in (0, 1), got {alpha}")
+        self.events = tuple(events)
+        self.alpha = alpha
+
+    def analyze(self, observations: ObservationSet) -> BlameReport:
+        """Produce the blame report for one benchmark."""
+        blames = []
+        for metric in self.events:
+            try:
+                model = PerformanceModel.from_observations(observations, x_metric=metric)
+                test = model.significance()
+                blames.append(
+                    EventBlame(
+                        metric=metric,
+                        r_squared=model.r_squared,
+                        p_value=test.p_value,
+                        significant=test.rejects_null(self.alpha),
+                    )
+                )
+            except ModelError:
+                # Zero-variance event (e.g. no L1I misses at all): it
+                # explains nothing and cannot reject the null.
+                blames.append(
+                    EventBlame(metric=metric, r_squared=0.0, p_value=1.0, significant=False)
+                )
+        # Zero-variance events make the design matrix rank-deficient;
+        # drop them before fitting the combined model.
+        usable = [
+            metric
+            for metric in self.events
+            if float(observations.series(metric).std()) > 0.0
+        ]
+        try:
+            if not usable:
+                raise ModelError("no event shows any variance")
+            combined = CombinedModel.from_observations(observations, x_metrics=usable)
+            f_test = combined.significance()
+            combined_r2 = combined.r_squared
+            combined_p = f_test.p_value
+            combined_sig = f_test.rejects_null(self.alpha)
+        except ModelError:
+            combined_r2, combined_p, combined_sig = 0.0, 1.0, False
+        return BlameReport(
+            benchmark=observations.benchmark,
+            events=tuple(blames),
+            combined_r_squared=combined_r2,
+            combined_p_value=combined_p,
+            combined_significant=combined_sig,
+        )

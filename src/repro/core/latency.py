@@ -1,0 +1,87 @@
+"""Access-latency adjustment for predictor evaluations (§7.2.3).
+
+"It is possible that Intel could spare an extra 24KB for the L-TAGE
+branch predictor, but that the access latency and design complexity for
+such a structure might exceed the time allowed for branch prediction
+resulting in an unacceptable pipeline bubble."  This module quantifies
+that concern: a simple storage-based access-latency model charges large
+predictors extra CPI (fetch bubbles on taken branches, per Jiménez/
+Keckler/Lin's delay study), and re-ranks an evaluation under it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.evaluate import PredictorEvaluation
+from repro.errors import ConfigurationError
+from repro.uarch.predictors.base import BranchPredictor
+
+
+def storage_latency_model(
+    free_bits: int = 16384, cpi_per_doubling: float = 0.01
+) -> Callable[[BranchPredictor], float]:
+    """CPI penalty growing with table storage beyond a free budget.
+
+    Tables up to *free_bits* are assumed single-cycle (no penalty); each
+    doubling beyond that costs *cpi_per_doubling* CPI of fetch bubbles —
+    a coarse stand-in for the wire-delay scaling of large SRAM arrays.
+    """
+    if free_bits <= 0:
+        raise ConfigurationError(f"free_bits must be positive, got {free_bits}")
+    if cpi_per_doubling < 0:
+        raise ConfigurationError(
+            f"cpi_per_doubling must be >= 0, got {cpi_per_doubling}"
+        )
+
+    def model(predictor: BranchPredictor) -> float:
+        bits = predictor.storage_bits()
+        if bits <= free_bits:
+            return 0.0
+        return cpi_per_doubling * math.log2(bits / free_bits)
+
+    return model
+
+
+@dataclass(frozen=True)
+class AdjustedOutcome:
+    """A predictor's evaluation after the latency charge."""
+
+    predictor: str
+    predicted_cpi: float
+    latency_cpi: float
+
+    @property
+    def adjusted_cpi(self) -> float:
+        """Model-predicted CPI plus the access-latency charge."""
+        return self.predicted_cpi + self.latency_cpi
+
+
+def latency_adjusted_ranking(
+    evaluation: PredictorEvaluation,
+    predictors: Sequence[BranchPredictor],
+    latency_model: Callable[[BranchPredictor], float] | None = None,
+) -> list[AdjustedOutcome]:
+    """Re-rank an evaluation's candidates under an access-latency model.
+
+    *predictors* supplies the storage budgets (evaluations only carry
+    names); candidates missing from the evaluation are skipped.  Returns
+    outcomes sorted by adjusted CPI, best first.
+    """
+    model = latency_model if latency_model is not None else storage_latency_model()
+    by_name = {predictor.name: predictor for predictor in predictors}
+    adjusted = []
+    for outcome in evaluation.outcomes:
+        predictor = by_name.get(outcome.predictor)
+        if predictor is None:
+            continue
+        adjusted.append(
+            AdjustedOutcome(
+                predictor=outcome.predictor,
+                predicted_cpi=outcome.predicted_cpi.mean,
+                latency_cpi=model(predictor),
+            )
+        )
+    return sorted(adjusted, key=lambda outcome: outcome.adjusted_cpi)

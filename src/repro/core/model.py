@@ -1,0 +1,189 @@
+"""Performance models: regression over observation sets (§4.5, §6.6).
+
+:class:`PerformanceModel` is the single-event model (CPI on MPKI is the
+paper's workhorse): it carries the fitted line, significance test, and
+interval computations.  :class:`CombinedModel` is the three-event
+multilinear model of §6.1, judged by the F-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.observations import ObservationSet
+from repro.errors import ModelError
+from repro.stats.correlation import pearson_r
+from repro.stats.hypothesis_tests import (
+    FTestResult,
+    TTestResult,
+    f_test_regression,
+    t_test_correlation,
+)
+from repro.stats.intervals import (
+    Interval,
+    confidence_interval_mean_response,
+    interval_band,
+    multiple_confidence_interval,
+    multiple_prediction_interval,
+    prediction_interval_new_response,
+)
+from repro.stats.regression import (
+    MultipleLinearFit,
+    SimpleLinearFit,
+    fit_multiple,
+    fit_simple,
+)
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """A point prediction with its 95% confidence and prediction intervals."""
+
+    x0: float
+    mean: float
+    confidence: Interval
+    prediction: Interval
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """A fitted single-event linear performance model ``y = m*x + b``."""
+
+    benchmark: str
+    x_metric: str
+    y_metric: str
+    fit: SimpleLinearFit
+    x_values: np.ndarray
+    y_values: np.ndarray
+
+    @classmethod
+    def from_observations(
+        cls,
+        observations: ObservationSet,
+        x_metric: str = "mpki",
+        y_metric: str = "cpi",
+    ) -> "PerformanceModel":
+        """Fit a model from an observation set."""
+        x = observations.series(x_metric)
+        y = observations.series(y_metric)
+        return cls(
+            benchmark=observations.benchmark,
+            x_metric=x_metric,
+            y_metric=y_metric,
+            fit=fit_simple(x, y),
+            x_values=x,
+            y_values=y,
+        )
+
+    @property
+    def slope(self) -> float:
+        """Cost in *y* of one additional unit of *x* (Table 1 'Slope')."""
+        return self.fit.slope
+
+    @property
+    def intercept(self) -> float:
+        """Predicted *y* at x = 0 (Table 1 'y-intercept')."""
+        return self.fit.intercept
+
+    @property
+    def r(self) -> float:
+        """Pearson correlation of the underlying data."""
+        return pearson_r(self.x_values, self.y_values)
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination."""
+        return self.fit.r_squared
+
+    def significance(self) -> TTestResult:
+        """Student's t-test of H0: 'no correlation between x and y'."""
+        return t_test_correlation(self.x_values, self.y_values)
+
+    def is_significant(self, alpha: float = 0.05) -> bool:
+        """Whether the correlation is significant at level *alpha*."""
+        return self.significance().rejects_null(alpha)
+
+    def predict(self, x0: float, confidence: float = 0.95) -> PredictionResult:
+        """Predict *y* at *x0* with CI and PI (Table 1's Low/High at 0)."""
+        return PredictionResult(
+            x0=x0,
+            mean=self.fit.predict(x0),
+            confidence=confidence_interval_mean_response(self.fit, x0, confidence),
+            prediction=prediction_interval_new_response(self.fit, x0, confidence),
+        )
+
+    def perfect_event_prediction(self, confidence: float = 0.95) -> PredictionResult:
+        """Prediction at x = 0: e.g. CPI under perfect branch prediction."""
+        return self.predict(0.0, confidence)
+
+    def band(
+        self, xs: Sequence[float], confidence: float = 0.95
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(line, ci_low, ci_high, pi_low, pi_high) over a grid (Fig. 2)."""
+        return interval_band(self.fit, xs, confidence)
+
+    def residual_normality(self):
+        """Jarque-Bera test of the fit residuals (§5.8's normality
+        assumption behind the t-test).  Returns a
+        :class:`~repro.stats.normality.NormalityResult`."""
+        from repro.stats.normality import jarque_bera
+
+        residuals = self.y_values - self.fit.predict_many(self.x_values)
+        return jarque_bera(residuals)
+
+    def improvement_percent(self, x0: float) -> float:
+        """Percent improvement of predicted y at *x0* vs the observed mean y."""
+        baseline = float(self.y_values.mean())
+        if baseline == 0.0:
+            raise ModelError("mean response is zero; improvement undefined")
+        return (baseline - self.fit.predict(x0)) / baseline * 100.0
+
+
+@dataclass(frozen=True)
+class CombinedModel:
+    """The §6.1 combined multilinear model of CPI on several events."""
+
+    benchmark: str
+    x_metrics: tuple[str, ...]
+    y_metric: str
+    fit: MultipleLinearFit
+
+    @classmethod
+    def from_observations(
+        cls,
+        observations: ObservationSet,
+        x_metrics: Sequence[str] = ("mpki", "l1i_mpki", "l2_mpki"),
+        y_metric: str = "cpi",
+    ) -> "CombinedModel":
+        """Fit the combined model from an observation set."""
+        columns = [observations.series(metric) for metric in x_metrics]
+        y = observations.series(y_metric)
+        return cls(
+            benchmark=observations.benchmark,
+            x_metrics=tuple(x_metrics),
+            y_metric=y_metric,
+            fit=fit_multiple(columns, y, names=list(x_metrics)),
+        )
+
+    @property
+    def r_squared(self) -> float:
+        """r² of the combined model (Fig. 6's 'combined' series)."""
+        return self.fit.r_squared
+
+    def significance(self) -> FTestResult:
+        """F-test of H0: 'no slope differs from zero' (§6.2)."""
+        return f_test_regression(self.fit)
+
+    def is_significant(self, alpha: float = 0.05) -> bool:
+        """Whether the combined model is significant at level *alpha*."""
+        return self.significance().rejects_null(alpha)
+
+    def predict(self, x0: Sequence[float], confidence: float = 0.95) -> PredictionResult:
+        """Predict the response at an event-rate vector with CI and PI."""
+        mean = self.fit.predict(x0)
+        ci = multiple_confidence_interval(self.fit, x0, confidence)
+        pi = multiple_prediction_interval(self.fit, x0, confidence)
+        return PredictionResult(x0=float("nan"), mean=mean, confidence=ci, prediction=pi)

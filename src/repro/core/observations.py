@@ -1,0 +1,111 @@
+"""Observation sets: the data interferometry collects.
+
+One :class:`Observation` is the merged counter measurement of one
+reordered executable; an :class:`ObservationSet` is the collection over
+all sampled layouts of one benchmark, with vector accessors for the
+derived metrics the regressions consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.machine.pmc import Measurement
+
+#: Metric names accepted by :meth:`ObservationSet.series`.
+METRICS = (
+    "cpi",
+    "mpki",
+    "l1i_mpki",
+    "l1d_mpki",
+    "l2_mpki",
+    "btb_mpki",
+    "cycles",
+    "instructions",
+)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One layout's measurement."""
+
+    layout_index: int
+    layout_seed: int
+    heap_seed: int | None
+    measurement: Measurement
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.measurement.cpi
+
+    @property
+    def mpki(self) -> float:
+        """Branch mispredictions per 1000 instructions."""
+        return self.measurement.mpki
+
+    def metric(self, name: str) -> float:
+        """Look up a derived metric by name."""
+        if name == "cpi":
+            return self.measurement.cpi
+        if name == "mpki":
+            return self.measurement.mpki
+        if name == "l1i_mpki":
+            return self.measurement.l1i_mpki
+        if name == "l1d_mpki":
+            return self.measurement.l1d_mpki
+        if name == "l2_mpki":
+            return self.measurement.l2_mpki
+        if name == "btb_mpki":
+            return self.measurement.btb_mpki
+        if name == "cycles":
+            return float(self.measurement.cycles)
+        if name == "instructions":
+            return float(self.measurement.instructions)
+        raise ModelError(f"unknown metric {name!r}; choose from {METRICS}")
+
+
+@dataclass
+class ObservationSet:
+    """All observations of one benchmark under layout perturbation."""
+
+    benchmark: str
+    observations: list[Observation] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def append(self, observation: Observation) -> None:
+        """Add one observation."""
+        self.observations.append(observation)
+
+    def extend(self, observations: Sequence[Observation]) -> None:
+        """Add several observations."""
+        self.observations.extend(observations)
+
+    def series(self, metric: str) -> np.ndarray:
+        """Vector of one metric across layouts, in layout order."""
+        if not self.observations:
+            raise ModelError(f"no observations collected for {self.benchmark!r}")
+        return np.array([obs.metric(metric) for obs in self.observations], dtype=np.float64)
+
+    @property
+    def cpis(self) -> np.ndarray:
+        """CPI vector."""
+        return self.series("cpi")
+
+    @property
+    def mpkis(self) -> np.ndarray:
+        """MPKI vector."""
+        return self.series("mpki")
+
+    def mean(self, metric: str) -> float:
+        """Mean of one metric across layouts."""
+        return float(self.series(metric).mean())

@@ -1,0 +1,152 @@
+"""The machine park: distributing campaigns over identical machines.
+
+"We perform our study using four Dell systems with identical
+configurations" (§5.4): each benchmark is assigned to one machine (and
+pinned to one core on it), and the four machines run campaigns in
+parallel.  :class:`MachinePark` reproduces that setup: a fixed pool of
+identically configured :class:`~repro.machine.system.XeonE5440`
+instances, a deterministic benchmark→machine assignment, and optional
+process-level parallelism for the embarrassingly parallel layout
+measurements.
+
+Determinism: results are identical whether a campaign runs serially or
+across worker processes, because every observation is a pure function
+of (machine config, machine seed, benchmark, layout index).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.interferometer import Interferometer
+from repro.core.observations import Observation, ObservationSet
+from repro.errors import ConfigurationError
+from repro.machine.config import XeonE5440Config
+from repro.machine.system import XeonE5440
+from repro.rng import derive_seed
+from repro.workloads.suite import Benchmark, get_benchmark
+
+
+@dataclass(frozen=True)
+class _CampaignSpec:
+    """Picklable description of one benchmark's campaign slice."""
+
+    benchmark_name: str
+    machine_seed: int
+    machine_config: XeonE5440Config
+    trace_events: int
+    n_layouts: int
+    start_index: int
+    randomize_heap: bool
+    runs_per_group: int
+
+
+def _run_campaign(spec: _CampaignSpec) -> list[Observation]:
+    """Worker entry point: measure one benchmark's layout slice."""
+    machine = XeonE5440(config=spec.machine_config, seed=spec.machine_seed)
+    interferometer = Interferometer(
+        machine,
+        trace_events=spec.trace_events,
+        runs_per_group=spec.runs_per_group,
+        randomize_heap=spec.randomize_heap,
+    )
+    benchmark = get_benchmark(spec.benchmark_name)
+    observations = interferometer.observe(
+        benchmark, n_layouts=spec.n_layouts, start_index=spec.start_index
+    )
+    return observations.observations
+
+
+class MachinePark:
+    """A pool of identically configured machines (the paper's four Dells).
+
+    Parameters
+    ----------
+    n_machines:
+        Pool size (4 in the paper).
+    base_seed:
+        Machine identities are derived from this; machine *k* gets seed
+        ``derive_seed(base_seed, f"machine/{k}")``, so two parks with
+        equal base seeds are the same lab.
+    config:
+        Shared machine configuration ("identical configurations").
+    """
+
+    def __init__(
+        self,
+        n_machines: int = 4,
+        base_seed: int = 1,
+        config: XeonE5440Config | None = None,
+        trace_events: int = 20000,
+        runs_per_group: int = 5,
+    ) -> None:
+        if n_machines <= 0:
+            raise ConfigurationError(f"need at least one machine, got {n_machines}")
+        self.n_machines = n_machines
+        self.base_seed = base_seed
+        self.config = config if config is not None else XeonE5440Config()
+        self.trace_events = trace_events
+        self.runs_per_group = runs_per_group
+        self.machines = [
+            XeonE5440(config=self.config, seed=self.machine_seed(k))
+            for k in range(n_machines)
+        ]
+
+    def machine_seed(self, index: int) -> int:
+        """Seed (identity) of machine *index*."""
+        if not 0 <= index < self.n_machines:
+            raise ConfigurationError(
+                f"machine index {index} out of range [0, {self.n_machines})"
+            )
+        return derive_seed(self.base_seed, f"machine/{index}")
+
+    def machine_for(self, benchmark_name: str) -> int:
+        """Deterministic benchmark→machine assignment.
+
+        Like the paper's setup, a benchmark always runs on the same
+        machine (and, via the interferometer, the same core of it).
+        """
+        return derive_seed(0xD311, benchmark_name) % self.n_machines
+
+    def observe_suite(
+        self,
+        benchmarks: Sequence[Benchmark | str],
+        n_layouts: int = 100,
+        randomize_heap: bool = False,
+        workers: int = 0,
+    ) -> Mapping[str, ObservationSet]:
+        """Run full campaigns for several benchmarks across the park.
+
+        ``workers=0`` runs serially in-process; ``workers=k`` fans the
+        per-benchmark campaigns out over *k* worker processes.  Results
+        are identical either way.
+        """
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        names = [b if isinstance(b, str) else b.name for b in benchmarks]
+        specs = [
+            _CampaignSpec(
+                benchmark_name=name,
+                machine_seed=self.machine_seed(self.machine_for(name)),
+                machine_config=self.config,
+                trace_events=self.trace_events,
+                n_layouts=n_layouts,
+                start_index=0,
+                randomize_heap=randomize_heap,
+                runs_per_group=self.runs_per_group,
+            )
+            for name in names
+        ]
+        if workers == 0:
+            slices = [_run_campaign(spec) for spec in specs]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                slices = list(pool.map(_run_campaign, specs))
+        results: dict[str, ObservationSet] = {}
+        for name, observations in zip(names, slices):
+            observation_set = ObservationSet(benchmark=name)
+            observation_set.extend(observations)
+            results[name] = observation_set
+        return results

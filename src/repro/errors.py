@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single except clause while
+letting programming errors (TypeError, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class LinkError(ReproError):
+    """The linker could not produce a valid executable image."""
+
+
+class AllocationError(ReproError):
+    """The randomizing heap allocator could not place an object."""
+
+
+class MeasurementError(ReproError):
+    """A performance-counter measurement request was invalid."""
+
+
+class ModelError(ReproError):
+    """A statistical model could not be fit or queried."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark specification is unknown or malformed."""

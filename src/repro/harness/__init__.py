@@ -1,0 +1,13 @@
+"""Experiment harness: one regenerator per table and figure.
+
+Every module exposes ``run(lab)`` returning a result object with a
+``render()`` method that prints the rows/series the paper's figure or
+table reports.  The :class:`~repro.harness.lab.Laboratory` carries the
+machine, scale configuration (``REPRO_SCALE`` = ``ci`` / ``small`` /
+``paper``), and caches, so experiments that share measurements (e.g.
+Figures 7 and 8) reuse them.
+"""
+
+from repro.harness.lab import SCALES, Laboratory, Scale, get_lab, reset_lab
+
+__all__ = ["Laboratory", "SCALES", "Scale", "get_lab", "reset_lab"]

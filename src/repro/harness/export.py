@@ -1,0 +1,202 @@
+"""Export every figure's plottable series as CSV.
+
+The harness prints human-readable tables; this module writes the raw
+series a plotting tool (gnuplot, matplotlib, a spreadsheet) would
+consume to actually redraw the paper's figures::
+
+    repro-interferometry all --export out/
+    # or
+    from repro.harness.export import export_all
+    export_all(lab, "out/")
+
+One file per figure/table; long (tidy) format where a figure has
+multiple series.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.harness import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    table1,
+)
+from repro.harness.fig7 import PREDICTOR_ORDER
+from repro.harness.lab import Laboratory
+
+
+def _write(path: Path, header: list[str], rows: list[tuple]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig1(lab: Laboratory, directory: Path) -> Path:
+    """Violin KDE profiles, long format."""
+    result = fig1.run(lab)
+    rows = []
+    for row in result.rows:
+        for grid_value, density in zip(row.profile.grid, row.profile.density):
+            rows.append((row.benchmark, float(grid_value), float(density)))
+    path = directory / "fig1_violins.csv"
+    _write(path, ["benchmark", "percent_deviation", "density"], rows)
+    return path
+
+
+def export_fig2(lab: Laboratory, directory: Path) -> list[Path]:
+    """Scatter points and regression bands, one file pair per panel."""
+    result = fig2.run(lab, grid_points=40)
+    paths = []
+    for panel in result.panels:
+        slug = panel.benchmark.replace(".", "_")
+        scatter = directory / f"fig2_{slug}_points.csv"
+        _write(
+            scatter,
+            ["mpki", "cpi"],
+            list(zip(panel.model.x_values, panel.model.y_values)),
+        )
+        band = directory / f"fig2_{slug}_band.csv"
+        _write(
+            band,
+            ["mpki", "line", "ci_low", "ci_high", "pi_low", "pi_high"],
+            list(
+                zip(panel.grid, panel.line, panel.ci_low, panel.ci_high,
+                    panel.pi_low, panel.pi_high)
+            ),
+        )
+        paths.extend([scatter, band])
+    return paths
+
+
+def export_fig3(lab: Laboratory, directory: Path) -> Path:
+    """Cache-model scatter, both levels, long format."""
+    result = fig3.run(lab)
+    rows = []
+    for level, panel in (("L1D", result.l1_panel), ("L2", result.l2_panel)):
+        for x, y in zip(panel.model.x_values, panel.model.y_values):
+            rows.append((level, float(x), float(y)))
+    path = directory / "fig3_cache_points.csv"
+    _write(path, ["level", "miss_mpki", "cpi"], rows)
+    return path
+
+
+def export_fig4_fig5(lab: Laboratory, directory: Path) -> list[Path]:
+    """Linearity-study errors and per-benchmark normalized points."""
+    result = fig4.run(lab)
+    study = result.study
+    errors = directory / "fig4_errors.csv"
+    _write(
+        errors,
+        ["benchmark", "perfect_cpi", "perfect_estimate", "perfect_error_pct",
+         "ltage_error_pct"],
+        [
+            (b.benchmark, b.perfect_cpi, b.perfect_estimate,
+             b.perfect_error_percent, b.ltage_error_percent)
+            for b in study.sorted_by_perfect_error()
+        ],
+    )
+    points_rows = []
+    panels = fig5.run(lab, study=study)
+    for group, lines in (("linear", panels.linear), ("nonlinear", panels.nonlinear)):
+        for line in lines:
+            bench = study.result_for(line.benchmark)
+            mpkis, normalized = bench.normalized_points()
+            for x, y in zip(mpkis, normalized):
+                points_rows.append((group, line.benchmark, float(x), float(y)))
+    points = directory / "fig5_points.csv"
+    _write(points, ["panel", "benchmark", "mpki", "normalized_cpi"], points_rows)
+    return [errors, points]
+
+
+def export_fig6(lab: Laboratory, directory: Path) -> Path:
+    """Per-benchmark r² decomposition."""
+    result = fig6.run(lab)
+    rows = []
+    for report in result.reports:
+        events = report.per_event
+        rows.append(
+            (
+                report.benchmark,
+                events["mpki"].r_squared,
+                events["l1i_mpki"].r_squared,
+                events["l2_mpki"].r_squared,
+                report.combined_r_squared,
+            )
+        )
+    path = directory / "fig6_blame.csv"
+    _write(path, ["benchmark", "r2_branch", "r2_l1i", "r2_l2", "r2_combined"], rows)
+    return path
+
+
+def export_fig7_fig8(lab: Laboratory, directory: Path) -> list[Path]:
+    """Predictor MPKIs and predicted CPIs with intervals."""
+    result7 = fig7.run(lab)
+    rows7 = []
+    rows8 = []
+    for evaluation in result7.evaluations:
+        rows7.append(
+            (evaluation.benchmark, "real", evaluation.real_mean_mpki)
+        )
+        ci = evaluation.real_cpi_confidence
+        rows8.append(
+            (evaluation.benchmark, "real", evaluation.real_mean_cpi, ci.low, ci.high)
+        )
+        for name in PREDICTOR_ORDER:
+            outcome = evaluation.by_predictor[name]
+            rows7.append((evaluation.benchmark, name, outcome.mean_mpki))
+            pi = outcome.predicted_cpi.prediction
+            rows8.append(
+                (evaluation.benchmark, name, outcome.predicted_cpi.mean, pi.low, pi.high)
+            )
+        perfect = evaluation.model.perfect_event_prediction()
+        rows7.append((evaluation.benchmark, "perfect", 0.0))
+        rows8.append(
+            (
+                evaluation.benchmark, "perfect", perfect.mean,
+                perfect.prediction.low, perfect.prediction.high,
+            )
+        )
+    path7 = directory / "fig7_mpki.csv"
+    _write(path7, ["benchmark", "predictor", "mpki"], rows7)
+    path8 = directory / "fig8_cpi.csv"
+    _write(path8, ["benchmark", "predictor", "cpi", "low", "high"], rows8)
+    return [path7, path8]
+
+
+def export_table1(lab: Laboratory, directory: Path) -> Path:
+    """Table 1 rows."""
+    result = table1.run(lab)
+    path = directory / "table1.csv"
+    _write(
+        path,
+        ["benchmark", "slope", "intercept", "low", "high", "r_squared", "p_value"],
+        [
+            (r.benchmark, r.slope, r.intercept, r.low, r.high, r.r_squared, r.p_value)
+            for r in result.rows
+        ],
+    )
+    return path
+
+
+def export_all(lab: Laboratory, directory: str | Path) -> list[Path]:
+    """Export every figure's and table's series; returns written paths."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    paths.append(export_fig1(lab, out))
+    paths.extend(export_fig2(lab, out))
+    paths.append(export_fig3(lab, out))
+    paths.extend(export_fig4_fig5(lab, out))
+    paths.append(export_fig6(lab, out))
+    paths.extend(export_fig7_fig8(lab, out))
+    paths.append(export_table1(lab, out))
+    return paths

@@ -1,0 +1,93 @@
+"""Figure 5 — MPKI vs normalized CPI regression lines under MASE.
+
+Panel (a): three highly linear benchmarks (473.astar, 401.bzip2,
+458.sjeng analogues); panel (b): the three least linear (456.hmmer,
+252.eon, 178.galgel).  CPI is normalized to perfect prediction, so the
+true curve passes through (0, 1) and the regression intercept's
+distance from 1 *is* the extrapolation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.fig4 import run as run_fig4
+from repro.harness.lab import Laboratory, get_lab
+from repro.harness.report import format_table
+from repro.mase.linearity import BenchmarkLinearity, LinearityStudyResult
+from repro.stats.regression import fit_simple
+from repro.workloads.params import FIGURE5_LINEAR, FIGURE5_NONLINEAR
+
+
+@dataclass(frozen=True)
+class Fig5Line:
+    """One benchmark's normalized regression line."""
+
+    benchmark: str
+    slope: float
+    intercept: float
+    error_at_zero_percent: float
+    n_points: int
+    mpki_min: float
+    mpki_max: float
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both panels."""
+
+    linear: tuple[Fig5Line, ...]
+    nonlinear: tuple[Fig5Line, ...]
+
+    def render(self) -> str:
+        def table(lines: tuple[Fig5Line, ...], label: str) -> str:
+            return format_table(
+                headers=["benchmark", "slope", "intercept", "err@0 %", "n", "MPKI range"],
+                rows=[
+                    (
+                        l.benchmark,
+                        l.slope,
+                        l.intercept,
+                        l.error_at_zero_percent,
+                        l.n_points,
+                        f"{l.mpki_min:.1f}..{l.mpki_max:.1f}",
+                    )
+                    for l in lines
+                ],
+                title=label,
+                precision=4,
+            )
+
+        return (
+            "Figure 5: normalized CPI vs MPKI regression lines\n"
+            + table(self.linear, "(a) highly linear benchmarks")
+            + "\n\n"
+            + table(self.nonlinear, "(b) less linear benchmarks")
+        )
+
+
+def _line(bench: BenchmarkLinearity) -> Fig5Line:
+    mpkis, normalized = bench.normalized_points()
+    fit = fit_simple(mpkis, normalized)
+    return Fig5Line(
+        benchmark=bench.benchmark,
+        slope=fit.slope,
+        intercept=fit.intercept,
+        error_at_zero_percent=abs(fit.intercept - 1.0) * 100.0,
+        n_points=int(mpkis.size),
+        mpki_min=float(mpkis.min()),
+        mpki_max=float(mpkis.max()),
+    )
+
+
+def run(
+    lab: Laboratory | None = None, study: LinearityStudyResult | None = None
+) -> Fig5Result:
+    """Regenerate Figure 5's data (reusing a Fig. 4 study if given)."""
+    lab = lab if lab is not None else get_lab()
+    if study is None:
+        study = run_fig4(lab).study
+    return Fig5Result(
+        linear=tuple(_line(study.result_for(name)) for name in FIGURE5_LINEAR),
+        nonlinear=tuple(_line(study.result_for(name)) for name in FIGURE5_NONLINEAR),
+    )

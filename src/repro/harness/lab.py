@@ -1,0 +1,181 @@
+"""The laboratory: shared machines, scale configuration, and caches.
+
+Scales trade fidelity for wall-clock time.  ``paper`` mirrors the
+paper's 100-reordering campaigns; ``small`` (the default) keeps every
+experiment's shape at ~40% of the sampling cost; ``ci`` is for fast
+test runs.  Select with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.evaluate import PredictorEvaluation, PredictorEvaluator
+from repro.core.interferometer import Interferometer
+from repro.core.model import PerformanceModel
+from repro.core.observations import ObservationSet
+from repro.errors import ConfigurationError
+from repro.machine.system import XeonE5440
+from repro.uarch.predictors.gas import gas_hybrid_family
+from repro.uarch.predictors.tage import LTagePredictor
+from repro.workloads.suite import Benchmark, get_benchmark, mase_suite, spec2006
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sampling sizes of one scale tier."""
+
+    name: str
+    n_layouts: int
+    trace_events: int
+    mase_trace_events: int
+    mase_configs: int | None  # None = the full 145
+    ltage_layouts: int
+
+    def __post_init__(self) -> None:
+        if self.n_layouts <= 3:
+            raise ConfigurationError("need more than 3 layouts per campaign")
+
+
+SCALES: dict[str, Scale] = {
+    "ci": Scale("ci", n_layouts=10, trace_events=6000, mase_trace_events=4000,
+                mase_configs=29, ltage_layouts=4),
+    "small": Scale("small", n_layouts=40, trace_events=20000, mase_trace_events=6000,
+                   mase_configs=None, ltage_layouts=12),
+    "paper": Scale("paper", n_layouts=100, trace_events=20000, mase_trace_events=8000,
+                   mase_configs=None, ltage_layouts=100),
+}
+
+
+def scale_from_env(default: str = "small") -> Scale:
+    """Resolve the scale selected by ``REPRO_SCALE``."""
+    name = os.environ.get("REPRO_SCALE", default)
+    if name not in SCALES:
+        raise ConfigurationError(
+            f"unknown REPRO_SCALE {name!r}; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+class Laboratory:
+    """Shared state for all experiment regenerators.
+
+    Observation sets are cached per benchmark, so experiments that
+    consume the same campaign (Fig. 1, Fig. 2, Fig. 6, Table 1, Figs.
+    7-8) measure each layout exactly once per process.
+    """
+
+    def __init__(self, scale: Scale | None = None, machine_seed: int = 1) -> None:
+        self.scale = scale if scale is not None else scale_from_env()
+        self.machine = XeonE5440(seed=machine_seed)
+        self.interferometer = Interferometer(
+            self.machine, trace_events=self.scale.trace_events
+        )
+        self.heap_interferometer = Interferometer(
+            self.machine, trace_events=self.scale.trace_events, randomize_heap=True
+        )
+        self.suite = spec2006()
+        self.mase_suite = mase_suite()
+        self._observations: dict[str, ObservationSet] = {}
+        self._heap_observations: dict[str, ObservationSet] = {}
+        self._evaluations: dict[str, PredictorEvaluation] = {}
+        self._significant: list[str] | None = None
+
+    def benchmark(self, name: str) -> Benchmark:
+        """Look up a benchmark (suite member or MASE-only)."""
+        return self.suite.get(name) or get_benchmark(name)
+
+    def observations(self, name: str) -> ObservationSet:
+        """The code-reordering campaign for one benchmark (cached)."""
+        cached = self._observations.get(name)
+        if cached is None:
+            cached = self.interferometer.observe(
+                self.benchmark(name), n_layouts=self.scale.n_layouts
+            )
+            self._observations[name] = cached
+        return cached
+
+    def heap_observations(self, name: str) -> ObservationSet:
+        """The code+heap randomization campaign (cached)."""
+        cached = self._heap_observations.get(name)
+        if cached is None:
+            cached = self.heap_interferometer.observe(
+                self.benchmark(name), n_layouts=self.scale.n_layouts
+            )
+            self._heap_observations[name] = cached
+        return cached
+
+    def model(self, name: str) -> PerformanceModel:
+        """The CPI-on-MPKI model of one benchmark."""
+        return PerformanceModel.from_observations(self.observations(name))
+
+    def significant_benchmarks(self, alpha: float = 0.05) -> list[str]:
+        """Benchmarks whose CPI/MPKI correlation passes the t-test (§6.4)."""
+        if self._significant is None:
+            names = []
+            for name in self.suite:
+                try:
+                    if self.model(name).is_significant(alpha):
+                        names.append(name)
+                except Exception:  # zero-variance MPKI: cannot be significant
+                    continue
+            self._significant = names
+        return self._significant
+
+    def evaluation(self, name: str) -> PredictorEvaluation:
+        """The §7 predictor evaluation for one benchmark (cached).
+
+        L-TAGE is expensive to simulate per layout; at reduced scales it
+        is evaluated on the first ``ltage_layouts`` reorderings while
+        the cheaper predictors use the full campaign (documented
+        scale-reduction; at ``paper`` scale everything uses all 100).
+        """
+        cached = self._evaluations.get(name)
+        if cached is not None:
+            return cached
+        observations = self.observations(name)
+        benchmark = self.benchmark(name)
+        fast = PredictorEvaluator(self.interferometer, gas_hybrid_family())
+        evaluation = fast.evaluate(benchmark, observations)
+        # L-TAGE on a layout subset.
+        subset = ObservationSet(benchmark=name)
+        subset.extend(observations.observations[: self.scale.ltage_layouts])
+        slow = PredictorEvaluator(self.interferometer, [LTagePredictor()])
+        ltage_eval = slow.evaluate(benchmark, subset)
+        ltage_outcome = ltage_eval.outcomes[0]
+        # Re-predict CPI with the *full* model for consistency.
+        merged = PredictorEvaluation(
+            benchmark=evaluation.benchmark,
+            real_mean_mpki=evaluation.real_mean_mpki,
+            real_mean_cpi=evaluation.real_mean_cpi,
+            real_cpi_confidence=evaluation.real_cpi_confidence,
+            outcomes=evaluation.outcomes
+            + (
+                type(ltage_outcome)(
+                    predictor=ltage_outcome.predictor,
+                    mean_mpki=ltage_outcome.mean_mpki,
+                    predicted_cpi=evaluation.model.predict(ltage_outcome.mean_mpki),
+                ),
+            ),
+            model=evaluation.model,
+        )
+        self._evaluations[name] = merged
+        return merged
+
+
+_GLOBAL_LAB: Laboratory | None = None
+
+
+def get_lab() -> Laboratory:
+    """The process-wide laboratory (created on first use)."""
+    global _GLOBAL_LAB
+    if _GLOBAL_LAB is None:
+        _GLOBAL_LAB = Laboratory()
+    return _GLOBAL_LAB
+
+
+def reset_lab() -> None:
+    """Drop the process-wide laboratory and its caches."""
+    global _GLOBAL_LAB
+    _GLOBAL_LAB = None

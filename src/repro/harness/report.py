@@ -1,0 +1,37 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Render one value: floats get fixed precision, others ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

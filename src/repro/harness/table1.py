@@ -1,0 +1,82 @@
+"""Table 1 — per-benchmark regression models (§6.6).
+
+Slope (CPI cost of one additional MPKI), y-intercept (predicted CPI at
+perfect prediction), and the low/high 95% prediction interval at 0
+MPKI, for every benchmark that passed the significance screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.lab import Laboratory, get_lab
+from repro.harness.report import format_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's model parameters."""
+
+    benchmark: str
+    slope: float
+    intercept: float
+    low: float
+    high: float
+    r_squared: float
+    p_value: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The full table."""
+
+    rows: tuple[Table1Row, ...]
+
+    def row_for(self, name: str) -> Table1Row:
+        """Look up one benchmark's row."""
+        for row in self.rows:
+            if row.benchmark == name:
+                return row
+        raise KeyError(name)
+
+    def render(self) -> str:
+        return format_table(
+            headers=["benchmark", "slope", "y-intercept", "low", "high", "r^2", "p"],
+            rows=[
+                (
+                    r.benchmark,
+                    round(r.slope, 4),
+                    round(r.intercept, 3),
+                    round(r.low, 3),
+                    round(r.high, 3),
+                    round(r.r_squared, 3),
+                    f"{r.p_value:.1e}",
+                )
+                for r in self.rows
+            ],
+            title=(
+                "Table 1: least-squares model relating branch prediction to "
+                "performance (95% PI at 0 MPKI)"
+            ),
+        )
+
+
+def run(lab: Laboratory | None = None) -> Table1Result:
+    """Regenerate Table 1."""
+    lab = lab if lab is not None else get_lab()
+    rows = []
+    for name in lab.significant_benchmarks():
+        model = lab.model(name)
+        prediction = model.perfect_event_prediction()
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                slope=model.slope,
+                intercept=model.intercept,
+                low=prediction.prediction.low,
+                high=prediction.prediction.high,
+                r_squared=model.r_squared,
+                p_value=model.significance().p_value,
+            )
+        )
+    return Table1Result(rows=tuple(rows))

@@ -1,0 +1,13 @@
+"""Heap placement: deterministic and DieHard-style randomizing allocators.
+
+The paper augments code reordering with "a specially crafted memory
+allocator that randomizes the placement of heap-allocated data" based on
+DieHard (§1.3, §4.4) to elicit cache-conflict variance.  This package
+provides both the default deterministic allocator (heap layout constant
+across runs, so only code placement varies) and the randomizing one.
+"""
+
+from repro.heap.diehard import DieHardAllocator, SequentialAllocator
+from repro.heap.layout import DataLayout
+
+__all__ = ["DataLayout", "DieHardAllocator", "SequentialAllocator"]

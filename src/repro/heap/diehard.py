@@ -1,0 +1,139 @@
+"""Heap allocators.
+
+:class:`SequentialAllocator` is the baseline deterministic allocator:
+objects are placed back to back at a fixed base, so the heap layout is
+identical for every run — matching the paper's default configuration
+where only *code* placement varies (stack randomization disabled, §5.5).
+
+:class:`DieHardAllocator` models the DieHard-inspired randomizing
+allocator of §1.3/§4.4: each power-of-two size class owns an
+over-provisioned "miniheap", and every object is placed in a uniformly
+random free slot of its class's miniheap.  Different seeds therefore
+move objects among cache sets reproducibly, eliciting conflict-miss
+variance in the data caches without changing program semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.heap.layout import DataLayout
+from repro.program.structure import ProgramSpec
+from repro.rng import RandomStream
+
+#: Default heap segment base (above the text/static segments).
+DEFAULT_HEAP_BASE = 0x10000000
+
+#: All placements are aligned to one cache block.
+_SLOT_ALIGN = 64
+
+
+def _round_up_pow2(value: int) -> int:
+    result = _SLOT_ALIGN
+    while result < value:
+        result <<= 1
+    return result
+
+
+class SequentialAllocator:
+    """Deterministic bump allocator: same layout for every seed."""
+
+    name = "sequential"
+
+    def __init__(self, heap_base: int = DEFAULT_HEAP_BASE) -> None:
+        self.heap_base = heap_base
+
+    def allocate(self, spec: ProgramSpec, seed: int = 0) -> DataLayout:
+        """Place objects back to back in declaration order.
+
+        *seed* is accepted for interface parity but ignored.
+        """
+        cursor = self.heap_base
+        bases = np.zeros(len(spec.heap_objects), dtype=np.int64)
+        for i, obj in enumerate(spec.heap_objects):
+            cursor = (cursor + _SLOT_ALIGN - 1) & ~(_SLOT_ALIGN - 1)
+            bases[i] = cursor
+            cursor += obj.size_bytes
+        layout = DataLayout(
+            program=spec.name,
+            object_base=bases,
+            heap_base=self.heap_base,
+            heap_limit=cursor,
+            allocator=self.name,
+        )
+        layout.validate_no_overlap(spec)
+        return layout
+
+
+class DieHardAllocator:
+    """DieHard-style randomizing allocator.
+
+    Parameters
+    ----------
+    overprovision:
+        Miniheap capacity as a multiple of the objects actually placed
+        in each size class (DieHard's M factor).  Larger values spread
+        objects over more cache sets.
+    heap_base:
+        Address of the first miniheap.
+    """
+
+    name = "diehard"
+
+    def __init__(self, overprovision: float = 4.0, heap_base: int = DEFAULT_HEAP_BASE) -> None:
+        if overprovision < 1.0:
+            raise ConfigurationError(
+                f"overprovision factor must be >= 1, got {overprovision}"
+            )
+        self.overprovision = overprovision
+        self.heap_base = heap_base
+
+    def allocate(self, spec: ProgramSpec, seed: int) -> DataLayout:
+        """Place every heap object in a random slot of its size class.
+
+        Within a slot the object also gets a random cache-block-aligned
+        offset into the slot's slack.  Without this, slots' power-of-two
+        alignment would pin every large object's low address bits,
+        leaving cache-set mappings invariant — the offset models the
+        allocation-header and fragmentation offsets real heaps exhibit,
+        and is what makes placement perturb L1 set conflicts (Fig. 3).
+        """
+        stream = RandomStream(seed, f"diehard/{spec.name}")
+        # Group object indices by power-of-two size class.
+        classes: dict[int, list[int]] = {}
+        for i, obj in enumerate(spec.heap_objects):
+            classes.setdefault(_round_up_pow2(obj.size_bytes), []).append(i)
+
+        bases = np.zeros(len(spec.heap_objects), dtype=np.int64)
+        cursor = self.heap_base
+        for slot_size in sorted(classes):
+            members = classes[slot_size]
+            n_slots = max(len(members), int(np.ceil(len(members) * self.overprovision)))
+            class_stream = stream.fork(f"class/{slot_size}")
+            slots = class_stream.sample_without_replacement(range(n_slots), len(members))
+            for obj_idx, slot in zip(members, slots):
+                slack_blocks = (
+                    slot_size - spec.heap_objects[obj_idx].size_bytes
+                ) // _SLOT_ALIGN
+                jitter = (
+                    class_stream.randint(0, slack_blocks) * _SLOT_ALIGN
+                    if slack_blocks > 0
+                    else 0
+                )
+                bases[obj_idx] = cursor + slot * slot_size + jitter
+            cursor += n_slots * slot_size
+        if not spec.heap_objects:
+            cursor = self.heap_base
+        layout = DataLayout(
+            program=spec.name,
+            object_base=bases,
+            heap_base=self.heap_base,
+            heap_limit=cursor,
+            allocator=self.name,
+        )
+        try:
+            layout.validate_no_overlap(spec)
+        except AllocationError as exc:  # pragma: no cover - defensive
+            raise AllocationError(f"randomized placement overlapped: {exc}") from exc
+        return layout

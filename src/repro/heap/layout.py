@@ -1,0 +1,41 @@
+"""Heap data layout: where each heap object lives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.program.structure import ProgramSpec
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """Base address of every heap object of a program.
+
+    ``object_base[i]`` is the address of ``spec.heap_objects[i]``.
+    """
+
+    program: str
+    object_base: np.ndarray
+    heap_base: int
+    heap_limit: int
+    allocator: str
+
+    def base_of(self, spec: ProgramSpec, name: str) -> int:
+        """Base address of the named heap object."""
+        return int(self.object_base[spec.object_index[name]])
+
+    def validate_no_overlap(self, spec: ProgramSpec) -> None:
+        """Raise :class:`AllocationError` if any two objects overlap."""
+        spans = sorted(
+            (int(self.object_base[i]), int(self.object_base[i]) + obj.size_bytes, obj.name)
+            for i, obj in enumerate(spec.heap_objects)
+        )
+        for (lo_a, hi_a, name_a), (lo_b, _hi_b, name_b) in zip(spans, spans[1:]):
+            if hi_a > lo_b:
+                raise AllocationError(
+                    f"objects {name_a!r} and {name_b!r} overlap "
+                    f"([{lo_a:#x},{hi_a:#x}) vs base {lo_b:#x})"
+                )

@@ -1,0 +1,116 @@
+"""Configuration of the Xeon E5440 reference machine.
+
+Structure geometries follow §5.4: 32KB/8-way L1I and L1D per core and a
+large unified L2 (the real part has 12MB per die; we scale capacity to
+our canonical traces' working sets so conflict behaviour lands in the
+same operating range — see DESIGN.md).  The predictor is the paper's
+reverse-engineered guess: a hybrid of a GAs-style global predictor and
+a bimodal predictor (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.uarch.caches import CacheConfig
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Per-event cycle costs of the timing model.
+
+    ``mispredict_penalty`` is the pipeline refill cost of the 14-stage
+    Core microarchitecture plus average wasted issue slots.  Miss
+    penalties are the additional latency not hidden by out-of-order
+    execution.  ``coupling_mpki_l1d`` scales the second-order term
+    modeling wrong-path cache pollution/prefetching (§3.1, §6.1): extra
+    cycles proportional to (mispredicts × L1D miss rate).
+    """
+
+    mispredict_penalty: float = 26.0
+    btb_penalty: float = 6.0
+    l1i_penalty: float = 9.0
+    l1d_penalty: float = 10.0
+    l2_penalty: float = 120.0
+    coupling_mpki_l1d: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mispredict_penalty",
+            "btb_penalty",
+            "l1i_penalty",
+            "l1d_penalty",
+            "l2_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class NoiseParameters:
+    """Measurement-noise model for native runs.
+
+    ``relative_sigma`` is the standard deviation of the multiplicative
+    Gaussian run-to-run jitter; with probability ``spike_probability`` a
+    run is additionally inflated by up to ``spike_magnitude`` (an OS
+    daemon waking up on the otherwise quiescent system, §5.5).  Each
+    core carries a small fixed frequency offset; pinning with taskset
+    keeps a benchmark on one core so the offset cancels in comparisons.
+    """
+
+    relative_sigma: float = 0.0015
+    spike_probability: float = 0.06
+    spike_magnitude: float = 0.02
+    core_offset_sigma: float = 0.001
+    counter_jitter: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.relative_sigma < 0 or self.counter_jitter < 0:
+            raise ConfigurationError("noise sigmas must be >= 0")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ConfigurationError("spike_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class XeonE5440Config:
+    """Full machine configuration."""
+
+    # Predictor geometry.  Capacities are scaled ~8x below the real
+    # part's so that table pressure at our canonical trace scale matches
+    # the real machine's pressure at SPEC scale (DESIGN.md, scaling note).
+    bimodal_entries: int = 2048
+    global_entries: int = 4096
+    history_bits: int = 8
+    chooser_entries: int = 2048
+    btb_entries: int = 512
+    btb_associativity: int = 4
+    #: Fraction of branch events treated as warm-up: structures train but
+    #: events are not counted (SimPoint-style warming for short slices).
+    warmup_fraction: float = 0.25
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, block_bytes=64, associativity=8, name="L1I"
+        )
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, block_bytes=64, associativity=8, name="L1D"
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, block_bytes=64, associativity=8, name="L2"
+        )
+    )
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    noise: NoiseParameters = field(default_factory=NoiseParameters)
+    n_cores: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ConfigurationError(f"n_cores must be positive, got {self.n_cores}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )

@@ -1,0 +1,126 @@
+"""Structural simulation of one core's address-hashed structures.
+
+Given an executable's bound address streams, the core model runs the
+hybrid branch predictor, the BTB, and the cache hierarchy to produce
+*deterministic* microarchitectural event counts.  This is the honest
+physical mechanism behind interferometry in this reproduction: nothing
+injects layout-dependent randomness — different layouts simply produce
+different table/set collisions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.machine.config import XeonE5440Config
+from repro.toolchain.executable import Executable
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import CacheHierarchy
+from repro.uarch.predictors.hybrid import HybridPredictor
+from repro.uarch.predictors.indirect import LastTargetPredictor
+
+
+@dataclass(frozen=True)
+class StructuralCounts:
+    """Deterministic event counts of one executable on the core model."""
+
+    instructions: int
+    branches: int
+    mispredicts: int
+    btb_misses: int
+    indirect_mispredicts: int
+    l1i_accesses: int
+    l1i_misses: int
+    l1d_accesses: int
+    l1d_misses: int
+    l2_misses: int
+
+    @property
+    def mpki(self) -> float:
+        """Branch mispredictions per 1000 instructions."""
+        return self.mispredicts / self.instructions * 1000.0
+
+    @property
+    def l1i_mpki(self) -> float:
+        """L1I misses per 1000 instructions."""
+        return self.l1i_misses / self.instructions * 1000.0
+
+    @property
+    def l1d_mpki(self) -> float:
+        """L1D misses per 1000 instructions."""
+        return self.l1d_misses / self.instructions * 1000.0
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 misses per 1000 instructions."""
+        return self.l2_misses / self.instructions * 1000.0
+
+
+class XeonCoreModel:
+    """One core's front-end and memory structures, with a result cache.
+
+    Simulation is deterministic per executable fingerprint, so results
+    are memoized (the paper likewise measures fixed counts per binary;
+    only cycles are noisy).
+    """
+
+    def __init__(self, config: XeonE5440Config, cache_entries: int = 4096) -> None:
+        self.config = config
+        self._predictor = HybridPredictor(
+            bimodal_entries=config.bimodal_entries,
+            global_entries=config.global_entries,
+            history_bits=config.history_bits,
+            chooser_entries=config.chooser_entries,
+        )
+        self._btb = BranchTargetBuffer(
+            entries=config.btb_entries, associativity=config.btb_associativity
+        )
+        self._target_predictor = LastTargetPredictor(entries=config.btb_entries)
+        self._hierarchy = CacheHierarchy(config.l1i, config.l1d, config.l2)
+        self._cache: OrderedDict[str, StructuralCounts] = OrderedDict()
+        self._cache_entries = cache_entries
+
+    def execute(self, executable: Executable) -> StructuralCounts:
+        """Simulate *executable*; returns cached counts when available."""
+        key = executable.fingerprint
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+
+        trace = executable.trace
+        branch_addrs = executable.branch_address_stream()
+        outcomes = trace.outcomes
+        warmup = int(trace.n_events * self.config.warmup_fraction)
+        mispredicts = self._predictor.simulate(branch_addrs, outcomes, warmup=warmup)
+        btb_misses = self._btb.simulate(branch_addrs, outcomes, warmup=warmup)
+        if int(trace.targets.max(initial=-1)) >= 0:
+            indirect_mispredicts = self._target_predictor.simulate(
+                branch_addrs, trace.targets, warmup=warmup
+            )
+        else:
+            indirect_mispredicts = 0
+        hierarchy = self._hierarchy.simulate(
+            executable.ifetch_address_stream(),
+            trace.iacc_event,
+            executable.data_address_stream(),
+            trace.dacc_event,
+            warmup_event=warmup,
+        )
+        counts = StructuralCounts(
+            instructions=trace.total_instructions - trace.instructions_up_to(warmup),
+            branches=trace.n_events - warmup,
+            mispredicts=mispredicts,
+            btb_misses=btb_misses,
+            indirect_mispredicts=indirect_mispredicts,
+            l1i_accesses=hierarchy.l1i_accesses,
+            l1i_misses=hierarchy.l1i_misses,
+            l1d_accesses=hierarchy.l1d_accesses,
+            l1d_misses=hierarchy.l1d_misses,
+            l2_misses=hierarchy.l2_misses,
+        )
+        self._cache[key] = counts
+        if len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+        return counts

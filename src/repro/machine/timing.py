@@ -1,0 +1,95 @@
+"""Timing model: event counts → elapsed cycles, with measurement noise.
+
+Elapsed cycles are the program's intrinsic work plus per-event stall
+penalties plus a small second-order coupling term (mispredictions whose
+wrong-path execution perturbs the data cache, §3.1/§6.1), scaled by
+run-to-run measurement noise.  The noisy part models what the paper's
+median-of-five methodology exists to reject: OS jitter on an otherwise
+quiescent system.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.config import NoiseParameters, TimingParameters, XeonE5440Config
+from repro.machine.core_model import StructuralCounts
+from repro.program.structure import ProgramSpec
+from repro.rng import RandomStream, derive_seed
+
+
+def deterministic_cycles(
+    counts: StructuralCounts, spec: ProgramSpec, timing: TimingParameters
+) -> float:
+    """Noise-free elapsed cycles for the given event counts."""
+    base = counts.instructions * spec.intrinsic_cpi
+    stall = (
+        counts.mispredicts * timing.mispredict_penalty * spec.mispredict_exposure
+        + counts.indirect_mispredicts * timing.mispredict_penalty
+        + counts.btb_misses * timing.btb_penalty
+        + counts.l1i_misses * timing.l1i_penalty
+        + counts.l1d_misses * timing.l1d_penalty
+        + counts.l2_misses * timing.l2_penalty
+    )
+    l1d_miss_rate = (
+        counts.l1d_misses / counts.l1d_accesses if counts.l1d_accesses > 0 else 0.0
+    )
+    coupling = timing.coupling_mpki_l1d * counts.mispredicts * l1d_miss_rate
+    return base + stall + coupling
+
+
+def core_frequency_offset(machine_seed: int, core: int, noise: NoiseParameters) -> float:
+    """The fixed multiplicative offset of one core (reproducible).
+
+    The paper pins each benchmark to one core with ``taskset`` "to
+    eliminate the effect of possible slight differences among the
+    cores" (§5.5); this is the slight difference being eliminated.
+    """
+    stream = RandomStream(derive_seed(machine_seed, f"core-offset/{core}"))
+    return 1.0 + stream.gauss(0.0, noise.core_offset_sigma)
+
+
+def noisy_cycles(
+    deterministic: float,
+    machine_seed: int,
+    core: int,
+    run_key: str,
+    noise: NoiseParameters,
+) -> float:
+    """Apply one run's measurement noise to deterministic cycles."""
+    stream = RandomStream(derive_seed(machine_seed, f"run/{run_key}"))
+    factor = math.exp(stream.gauss(0.0, noise.relative_sigma))
+    if stream.uniform() < noise.spike_probability:
+        factor *= 1.0 + stream.uniform() * noise.spike_magnitude
+    factor *= core_frequency_offset(machine_seed, core, noise)
+    return deterministic * factor
+
+
+def jittered_count(
+    value: int, machine_seed: int, run_key: str, event: str, noise: NoiseParameters
+) -> int:
+    """Apply tiny run-to-run jitter to a programmable counter reading.
+
+    Real counters drift slightly across runs (interrupt skid, sampling
+    of in-flight events); fixed counters (instructions) do not — the
+    run-limit instrumentation guarantees identical retired-instruction
+    counts.
+    """
+    if value == 0 or noise.counter_jitter == 0.0:
+        return value
+    stream = RandomStream(derive_seed(machine_seed, f"jitter/{run_key}/{event}"))
+    jittered = value * (1.0 + stream.gauss(0.0, noise.counter_jitter))
+    return max(0, int(round(jittered)))
+
+
+def cycles_for_run(
+    counts: StructuralCounts,
+    spec: ProgramSpec,
+    config: XeonE5440Config,
+    machine_seed: int,
+    core: int,
+    run_key: str,
+) -> int:
+    """Elapsed cycles of one noisy run."""
+    det = deterministic_cycles(counts, spec, config.timing)
+    return int(round(noisy_cycles(det, machine_seed, core, run_key, config.noise)))

@@ -1,0 +1,29 @@
+"""MASE — the cycle-level simulation substrate for the §3 linearity study.
+
+The paper uses MASE (Larson et al.), a cycle-accurate Alpha simulator
+configured "as similar as possible to Intel Xeon", to demonstrate that
+CPI is strongly linear in MPKI across a far wider range of branch
+prediction accuracies than interferometry alone can elicit.  This
+package provides the equivalent: a cycle-level model with pluggable
+branch predictors (including perfect prediction), a family of 145
+imperfect predictor configurations, and the regression-extrapolation
+study that yields Figures 4 and 5.
+"""
+
+from repro.mase.configs import mase_predictor_configs
+from repro.mase.linearity import (
+    BenchmarkLinearity,
+    LinearityStudy,
+    LinearityStudyResult,
+)
+from repro.mase.simulator import MaseConfig, MaseResult, MaseSimulator
+
+__all__ = [
+    "BenchmarkLinearity",
+    "LinearityStudy",
+    "LinearityStudyResult",
+    "MaseConfig",
+    "MaseResult",
+    "MaseSimulator",
+    "mase_predictor_configs",
+]

@@ -1,0 +1,84 @@
+"""The 145 imperfect branch predictor configurations (§3.2).
+
+"MASE simulates 145 different branch predictor configurations with
+varying accuracies, as well as a perfect branch predictor."  The family
+spans static predictors, bimodal tables, gshare, GAs, PAs, and hybrid
+designs across hardware budgets, so the achieved MPKIs cover a wide
+range — that spread is what makes the regression extrapolation to
+perfect prediction meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.uarch.predictors.base import BranchPredictor
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.gas import GAsPredictor
+from repro.uarch.predictors.gshare import GsharePredictor
+from repro.uarch.predictors.hybrid import HybridPredictor
+from repro.uarch.predictors.pas import PAsPredictor
+from repro.uarch.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+)
+
+#: Number of imperfect configurations, fixed by the paper.
+N_CONFIGS = 145
+
+
+def mase_predictor_configs() -> list[Callable[[], BranchPredictor]]:
+    """Factories for the 145 imperfect configurations.
+
+    Factories (rather than instances) let the study construct a fresh,
+    cold predictor per benchmark run.
+    """
+    factories: list[Callable[[], BranchPredictor]] = [
+        AlwaysTakenPredictor,
+        AlwaysNotTakenPredictor,
+    ]
+    # 7 bimodal sizes.
+    for entries in (64, 128, 256, 512, 1024, 2048, 4096):
+        factories.append(lambda entries=entries: BimodalPredictor(entries=entries))
+    # 48 gshare points: 8 sizes x 6 history lengths.
+    for entries in (128, 256, 512, 1024, 2048, 4096, 8192, 16384):
+        for history in (2, 4, 6, 8, 10, 12):
+            factories.append(
+                lambda entries=entries, history=history: GsharePredictor(
+                    entries=entries, history_bits=history
+                )
+            )
+    # 40 GAs points: sizes x history lengths (history must fit the index).
+    for entries in (256, 512, 1024, 2048, 4096, 8192, 16384):
+        for history in (2, 4, 6, 8, 10, 12):
+            if (1 << history) <= entries:
+                factories.append(
+                    lambda entries=entries, history=history: GAsPredictor(
+                        entries=entries, history_bits=history
+                    )
+                )
+    # 36 PAs points.
+    for bht in (128, 256, 512, 1024):
+        for history in (4, 6, 8):
+            for pht in (4096, 8192, 16384):
+                factories.append(
+                    lambda bht=bht, history=history, pht=pht: PAsPredictor(
+                        bht_entries=bht, pht_entries=pht, history_bits=history
+                    )
+                )
+    # Hybrid sweep to land exactly on 145.
+    for bimodal in (256, 512, 1024, 2048):
+        for glob in (1024, 4096):
+            for history in (6, 8):
+                factories.append(
+                    lambda bimodal=bimodal, glob=glob, history=history: HybridPredictor(
+                        bimodal_entries=bimodal,
+                        global_entries=glob,
+                        history_bits=history,
+                        chooser_entries=bimodal,
+                        name=f"hybrid-{bimodal}-{glob}x{history}",
+                    )
+                )
+    if len(factories) < N_CONFIGS:
+        raise AssertionError(f"only {len(factories)} configurations generated")
+    return factories[:N_CONFIGS]

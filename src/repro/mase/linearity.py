@@ -1,0 +1,134 @@
+"""The §3 linearity study (Figures 4 and 5).
+
+For each benchmark: simulate all 145 imperfect predictor
+configurations, regress CPI on MPKI over those points, extrapolate to
+0 MPKI, and compare with the actual simulated perfect-prediction CPI.
+Repeat the comparison at L-TAGE's operating point, which sits inside
+the sampled range and therefore yields far smaller errors — the paper's
+argument that regression-based estimates of realistic predictors are
+reliable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mase.configs import mase_predictor_configs
+from repro.mase.simulator import MaseConfig, MaseSimulator
+from repro.stats.regression import SimpleLinearFit, fit_simple
+from repro.uarch.predictors.perfect import PerfectPredictor
+from repro.uarch.predictors.tage import LTagePredictor
+from repro.workloads.suite import Benchmark
+
+
+@dataclass(frozen=True)
+class BenchmarkLinearity:
+    """Linearity-study outcome for one benchmark."""
+
+    benchmark: str
+    mpkis: np.ndarray
+    cpis: np.ndarray
+    fit: SimpleLinearFit
+    perfect_cpi: float
+    perfect_estimate: float
+    ltage_mpki: float
+    ltage_cpi: float
+    ltage_estimate: float
+
+    @property
+    def perfect_error_percent(self) -> float:
+        """Percent error of the 0-MPKI extrapolation vs simulated perfect."""
+        return abs(self.perfect_estimate - self.perfect_cpi) / self.perfect_cpi * 100.0
+
+    @property
+    def ltage_error_percent(self) -> float:
+        """Percent error of the L-TAGE-point estimate vs simulated L-TAGE."""
+        return abs(self.ltage_estimate - self.ltage_cpi) / self.ltage_cpi * 100.0
+
+    def normalized_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(MPKI, CPI/perfect-CPI) pairs — the axes of Figure 5."""
+        return self.mpkis, self.cpis / self.perfect_cpi
+
+
+@dataclass(frozen=True)
+class LinearityStudyResult:
+    """Figure 4's content across the benchmark set."""
+
+    benchmarks: tuple[BenchmarkLinearity, ...]
+
+    @property
+    def mean_perfect_error(self) -> float:
+        """Average percent error extrapolating to perfect prediction."""
+        return float(np.mean([b.perfect_error_percent for b in self.benchmarks]))
+
+    @property
+    def mean_ltage_error(self) -> float:
+        """Average percent error estimating L-TAGE."""
+        return float(np.mean([b.ltage_error_percent for b in self.benchmarks]))
+
+    def sorted_by_perfect_error(self) -> list[BenchmarkLinearity]:
+        """Benchmarks ordered lowest to highest error (Fig. 4's x-axis)."""
+        return sorted(self.benchmarks, key=lambda b: b.perfect_error_percent)
+
+    def result_for(self, name: str) -> BenchmarkLinearity:
+        """Look up one benchmark's outcome."""
+        for bench in self.benchmarks:
+            if bench.benchmark == name:
+                return bench
+        raise KeyError(name)
+
+
+class LinearityStudy:
+    """Runs the full §3 study over a benchmark set."""
+
+    def __init__(
+        self,
+        config: MaseConfig | None = None,
+        trace_events: int = 8000,
+        n_configs: int | None = None,
+    ) -> None:
+        self.simulator = MaseSimulator(config)
+        self.trace_events = trace_events
+        factories = mase_predictor_configs()
+        if n_configs is not None:
+            # Reduced sweeps for quick runs keep the accuracy *spread* by
+            # striding uniformly through the full family.
+            stride = max(1, len(factories) // n_configs)
+            factories = factories[::stride][:n_configs]
+        self.factories = factories
+
+    def study_benchmark(self, benchmark: Benchmark) -> BenchmarkLinearity:
+        """Run the sweep + extrapolation for one benchmark."""
+        prepared = self.simulator.prepare(benchmark, self.trace_events)
+        mpkis = []
+        cpis = []
+        for factory in self.factories:
+            result = self.simulator.run(prepared, factory())
+            mpkis.append(result.mpki)
+            cpis.append(result.cpi)
+        mpkis_arr = np.array(mpkis)
+        cpis_arr = np.array(cpis)
+        fit = fit_simple(mpkis_arr, cpis_arr)
+
+        perfect = self.simulator.run(prepared, PerfectPredictor())
+        ltage = self.simulator.run(prepared, LTagePredictor())
+        return BenchmarkLinearity(
+            benchmark=benchmark.name,
+            mpkis=mpkis_arr,
+            cpis=cpis_arr,
+            fit=fit,
+            perfect_cpi=perfect.cpi,
+            perfect_estimate=fit.predict(0.0),
+            ltage_mpki=ltage.mpki,
+            ltage_cpi=ltage.cpi,
+            ltage_estimate=fit.predict(ltage.mpki),
+        )
+
+    def run(self, benchmarks: Sequence[Benchmark]) -> LinearityStudyResult:
+        """Run the study over all benchmarks."""
+        return LinearityStudyResult(
+            benchmarks=tuple(self.study_benchmark(b) for b in benchmarks)
+        )

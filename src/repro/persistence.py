@@ -1,0 +1,134 @@
+"""Saving and loading campaign artifacts.
+
+Interferometry campaigns at paper scale are expensive; this module
+persists their products so analysis can be re-run without
+re-measurement:
+
+* observation sets — JSON (counters are plain integers);
+* observation sets — CSV (one row per layout, for external plotting);
+* canonical traces — compressed ``.npz``.
+
+Round-trips are exact: a reloaded observation set produces bit-equal
+metric vectors, and a reloaded trace is array-equal to the original.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.observations import METRICS, Observation, ObservationSet
+from repro.errors import ReproError
+from repro.machine.counters import Counter
+from repro.machine.pmc import Measurement
+from repro.program.tracegen import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_observations(observations: ObservationSet, path: str | Path) -> None:
+    """Write an observation set as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "benchmark": observations.benchmark,
+        "observations": [
+            {
+                "layout_index": obs.layout_index,
+                "layout_seed": obs.layout_seed,
+                "heap_seed": obs.heap_seed,
+                "fingerprint": obs.measurement.executable_fingerprint,
+                "counters": {
+                    event.value: count
+                    for event, count in obs.measurement.counters.items()
+                },
+            }
+            for obs in observations
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_observations(path: str | Path) -> ObservationSet:
+    """Read an observation set written by :func:`save_observations`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read observation set from {path}: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported format version {payload.get('format_version')!r}"
+        )
+    observations = ObservationSet(benchmark=payload["benchmark"])
+    for record in payload["observations"]:
+        counters = {
+            Counter(name): int(count) for name, count in record["counters"].items()
+        }
+        observations.append(
+            Observation(
+                layout_index=int(record["layout_index"]),
+                layout_seed=int(record["layout_seed"]),
+                heap_seed=(
+                    None if record["heap_seed"] is None else int(record["heap_seed"])
+                ),
+                measurement=Measurement(
+                    executable_fingerprint=record["fingerprint"],
+                    layout_seed=int(record["layout_seed"]),
+                    heap_seed=(
+                        None
+                        if record["heap_seed"] is None
+                        else int(record["heap_seed"])
+                    ),
+                    counters=counters,
+                ),
+            )
+        )
+    return observations
+
+
+def export_observations_csv(observations: ObservationSet, path: str | Path) -> None:
+    """Write one row per layout with every derived metric (for plotting)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "layout_index", "layout_seed", "heap_seed"]
+                        + list(METRICS))
+        for obs in observations:
+            writer.writerow(
+                [observations.benchmark, obs.layout_index, obs.layout_seed,
+                 obs.heap_seed]
+                + [obs.metric(metric) for metric in METRICS]
+            )
+
+
+_TRACE_ARRAYS = (
+    "site_ids", "outcomes", "targets", "site_proc", "site_offset", "site_instr_gap",
+    "iacc_proc", "iacc_offset", "iacc_event",
+    "dacc_obj", "dacc_offset", "dacc_event",
+    "activation_proc", "activation_start",
+)
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a canonical trace as compressed ``.npz``."""
+    arrays = {name: getattr(trace, name) for name in _TRACE_ARRAYS}
+    np.savez_compressed(
+        path,
+        _program=np.array(trace.program),
+        _seed=np.array(trace.seed, dtype=np.uint64),
+        **arrays,
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return Trace(
+                program=str(data["_program"]),
+                seed=int(data["_seed"]),
+                **{name: data[name] for name in _TRACE_ARRAYS},
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise ReproError(f"cannot read trace from {path}: {exc}") from exc

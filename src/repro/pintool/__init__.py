@@ -1,0 +1,13 @@
+"""Pin-style functional branch predictor simulation.
+
+"Our Pin tool instruments each branch with a callback to code that
+simulates a set of branch predictors.  The tool counts the number of
+branches executed and the number of branches mispredicted for each
+predictor simulated" (§5.6/§7.1).  :class:`~repro.pintool.brsim.PinTool`
+does the same over our executables: timing-free, noise-free, one run per
+reordering.
+"""
+
+from repro.pintool.brsim import PinResult, PinTool
+
+__all__ = ["PinResult", "PinTool"]

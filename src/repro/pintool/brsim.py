@@ -1,0 +1,80 @@
+"""Functional multi-predictor simulation over executables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.toolchain.executable import Executable
+from repro.uarch.predictors.base import BranchPredictor
+
+
+@dataclass(frozen=True)
+class PinResult:
+    """Per-predictor result of one instrumented run."""
+
+    predictor: str
+    branches: int
+    mispredicts: int
+    instructions: int
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per 1000 retired instructions."""
+        return self.mispredicts / self.instructions * 1000.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branches predicted correctly."""
+        if self.branches == 0:
+            return 1.0
+        return 1.0 - self.mispredicts / self.branches
+
+
+class PinTool:
+    """Instrument every branch; simulate a set of predictors.
+
+    Because the simulation starts from controlled initial state and Pin
+    is unaffected by system-level events, "there is no variance in the
+    simulation result" (§7.2): results are a pure function of the
+    executable.
+    """
+
+    def __init__(
+        self, predictors: Sequence[BranchPredictor], warmup_fraction: float = 0.25
+    ) -> None:
+        if not predictors:
+            raise ConfigurationError("PinTool needs at least one predictor")
+        names = [p.name for p in predictors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate predictor names: {names}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        self.predictors = list(predictors)
+        self.warmup_fraction = warmup_fraction
+
+    def run(self, executable: Executable) -> Mapping[str, PinResult]:
+        """Simulate every predictor over *executable*'s branch trace.
+
+        Uses the same warm-up convention as the machine's counters so
+        simulated MPKIs are comparable with measured ones.
+        """
+        addresses = executable.branch_address_stream()
+        trace = executable.trace
+        outcomes = trace.outcomes
+        warmup = int(trace.n_events * self.warmup_fraction)
+        instructions = trace.total_instructions - trace.instructions_up_to(warmup)
+        branches = trace.n_events - warmup
+        results: dict[str, PinResult] = {}
+        for predictor in self.predictors:
+            mispredicts = predictor.simulate(addresses, outcomes, warmup=warmup)
+            results[predictor.name] = PinResult(
+                predictor=predictor.name,
+                branches=branches,
+                mispredicts=mispredicts,
+                instructions=instructions,
+            )
+        return results

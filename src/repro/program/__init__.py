@@ -1,0 +1,49 @@
+"""Synthetic program model.
+
+A :class:`~repro.program.structure.ProgramSpec` stands in for a SPEC CPU
+2006 benchmark's source code: procedures grouped into compilation units,
+static branch sites with behaviour models, and heap objects with access
+patterns.  :mod:`repro.program.tracegen` turns a spec into a canonical
+*layout-invariant* trace — the dynamic sequence of branch events,
+instruction-fetch blocks, and data references.  Only the toolchain and
+heap allocator decide what *addresses* those events touch.
+"""
+
+from repro.program.analysis import TraceProfile, profile_trace, render_profile
+from repro.program.behavior import (
+    BiasedBehavior,
+    BranchBehavior,
+    GlobalCorrelatedBehavior,
+    IndirectTargetBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+from repro.program.structure import (
+    BranchSite,
+    DataRefSpec,
+    HeapObjectSpec,
+    ProcedureSpec,
+    ProgramSpec,
+    SourceFile,
+)
+from repro.program.tracegen import Trace, generate_trace
+
+__all__ = [
+    "BiasedBehavior",
+    "BranchBehavior",
+    "BranchSite",
+    "DataRefSpec",
+    "GlobalCorrelatedBehavior",
+    "HeapObjectSpec",
+    "IndirectTargetBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "ProcedureSpec",
+    "ProgramSpec",
+    "SourceFile",
+    "Trace",
+    "TraceProfile",
+    "generate_trace",
+    "profile_trace",
+    "render_profile",
+]

@@ -1,0 +1,99 @@
+"""Trace diagnostics: what a canonical trace actually exercises.
+
+Calibrating a synthetic benchmark (docs/METHODOLOGY.md §4) requires
+knowing what its trace does: which sites are hot, how biased its
+branches run, how large the code and data working sets are.  This
+module computes those summaries from a :class:`Trace` without touching
+any microarchitectural model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.program.structure import CACHE_BLOCK_BYTES, ProgramSpec
+from repro.program.tracegen import Trace
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one canonical trace."""
+
+    program: str
+    n_events: int
+    total_instructions: int
+    branch_density_per_kinstr: float
+    taken_fraction: float
+    n_static_sites: int
+    n_executed_sites: int
+    hot_site_coverage_50: int
+    code_blocks_touched: int
+    data_blocks_touched: int
+    data_bytes_touched: int
+    indirect_fraction: float
+
+    @property
+    def code_working_set_bytes(self) -> int:
+        """Distinct instruction-fetch footprint."""
+        return self.code_blocks_touched * CACHE_BLOCK_BYTES
+
+    @property
+    def data_working_set_bytes(self) -> int:
+        """Distinct data footprint at cache-block granularity."""
+        return self.data_blocks_touched * CACHE_BLOCK_BYTES
+
+
+def profile_trace(spec: ProgramSpec, trace: Trace) -> TraceProfile:
+    """Compute a :class:`TraceProfile` for *trace* of *spec*."""
+    site_counts = np.bincount(trace.site_ids, minlength=spec.n_sites)
+    executed = int(np.count_nonzero(site_counts))
+    # Smallest number of sites covering half the dynamic branches.
+    ordered = np.sort(site_counts)[::-1]
+    cumulative = np.cumsum(ordered)
+    half = trace.n_events / 2.0
+    hot_coverage = int(np.searchsorted(cumulative, half) + 1) if trace.n_events else 0
+
+    # Code footprint: (procedure, block offset) pairs.
+    code_keys = trace.iacc_proc.astype(np.int64) * (1 << 32) + trace.iacc_offset
+    code_blocks = int(np.unique(code_keys).size)
+
+    # Data footprint at block granularity: (object, block) pairs.
+    if trace.dacc_obj.size:
+        data_keys = trace.dacc_obj.astype(np.int64) * (1 << 40) + (
+            trace.dacc_offset // CACHE_BLOCK_BYTES
+        )
+        data_blocks = int(np.unique(data_keys).size)
+    else:
+        data_blocks = 0
+
+    return TraceProfile(
+        program=trace.program,
+        n_events=trace.n_events,
+        total_instructions=trace.total_instructions,
+        branch_density_per_kinstr=trace.branch_density_per_kilo_instruction,
+        taken_fraction=float(trace.outcomes.mean()) if trace.n_events else 0.0,
+        n_static_sites=spec.n_sites,
+        n_executed_sites=executed,
+        hot_site_coverage_50=hot_coverage,
+        code_blocks_touched=code_blocks,
+        data_blocks_touched=data_blocks,
+        data_bytes_touched=data_blocks * CACHE_BLOCK_BYTES,
+        indirect_fraction=float((trace.targets >= 0).mean()) if trace.n_events else 0.0,
+    )
+
+
+def render_profile(profile: TraceProfile) -> str:
+    """Human-readable one-block summary."""
+    return (
+        f"{profile.program}: {profile.n_events} branch events / "
+        f"{profile.total_instructions} instructions "
+        f"({profile.branch_density_per_kinstr:.0f} br/kinstr, "
+        f"{profile.taken_fraction * 100:.0f}% taken, "
+        f"{profile.indirect_fraction * 100:.1f}% indirect)\n"
+        f"  sites: {profile.n_executed_sites}/{profile.n_static_sites} executed; "
+        f"{profile.hot_site_coverage_50} sites cover half the events\n"
+        f"  working sets: code {profile.code_working_set_bytes / 1024:.1f} KiB, "
+        f"data {profile.data_working_set_bytes / 1024:.1f} KiB"
+    )

@@ -1,0 +1,244 @@
+"""Branch behaviour models.
+
+Each static branch site owns a :class:`BranchBehavior` that produces its
+outcome sequence during canonical trace generation.  Outcomes are a
+function of the site's private state, the global outcome history, and a
+deterministic random stream — never of code layout, so traces are
+semantically identical across reorderings (the paper's invariant).
+
+The mix of behaviours controls how predictable a benchmark is and how
+sensitive its prediction accuracy is to predictor-table aliasing:
+
+* :class:`BiasedBehavior` — i.i.d. coin with bias p.  Strongly biased
+  sites are trivially predictable *unless* they alias a site of opposite
+  bias in the pattern history table — the physical mechanism by which
+  code layout perturbs MPKI.
+* :class:`LoopBehavior` — taken (trip−1) times, then not taken.  Cheap
+  for local-history and loop predictors (L-TAGE), costs roughly one
+  misprediction per trip for bimodal predictors.
+* :class:`PatternBehavior` — a fixed repeating bit pattern; predictable
+  given enough (un-aliased) history bits.
+* :class:`GlobalCorrelatedBehavior` — outcome correlates with recent
+  global history; captured by GAs/gshare-class predictors when their
+  index hash keeps the site's history-spread entries free of conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class BranchBehavior(Protocol):
+    """Protocol for branch outcome generators."""
+
+    def make_state(self) -> object:
+        """Return a fresh per-site mutable state for one trace generation."""
+        ...
+
+    def next_outcome(self, state: object, history: int, u: float) -> int:
+        """Produce the next outcome (0/1).
+
+        Parameters
+        ----------
+        state:
+            The object returned by :meth:`make_state`.
+        history:
+            Global outcome history register, most recent outcome in the
+            least-significant bit.
+        u:
+            A uniform [0, 1) variate from the trace's deterministic
+            random stream.
+        """
+        ...
+
+
+class BiasedBehavior:
+    """Independent Bernoulli outcomes with probability *p_taken*."""
+
+    __slots__ = ("p_taken",)
+
+    def __init__(self, p_taken: float) -> None:
+        if not 0.0 <= p_taken <= 1.0:
+            raise ConfigurationError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def make_state(self) -> object:
+        return None
+
+    def next_outcome(self, state: object, history: int, u: float) -> int:
+        return 1 if u < self.p_taken else 0
+
+    def __repr__(self) -> str:
+        return f"BiasedBehavior(p_taken={self.p_taken})"
+
+
+class LoopBehavior:
+    """Loop-exit branch: taken (trip−1) times, not taken once, repeat.
+
+    A small trip-count jitter probability makes an occasional iteration
+    run one trip longer, as real data-dependent loops do.
+    """
+
+    __slots__ = ("trip_count", "jitter")
+
+    def __init__(self, trip_count: int, jitter: float = 0.0) -> None:
+        if trip_count < 2:
+            raise ConfigurationError(f"trip_count must be >= 2, got {trip_count}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {jitter}")
+        self.trip_count = trip_count
+        self.jitter = jitter
+
+    def make_state(self) -> list:
+        # [position within current loop execution, current trip count]
+        return [0, self.trip_count]
+
+    def next_outcome(self, state: list, history: int, u: float) -> int:
+        pos, trip = state
+        if pos + 1 >= trip:
+            # Loop exit (not taken); restart, possibly with jittered trip.
+            state[0] = 0
+            state[1] = self.trip_count + (1 if u < self.jitter else 0)
+            return 0
+        state[0] = pos + 1
+        return 1
+
+    def __repr__(self) -> str:
+        return f"LoopBehavior(trip_count={self.trip_count}, jitter={self.jitter})"
+
+
+class PatternBehavior:
+    """Deterministic repeating outcome pattern (e.g. ``(1, 1, 0, 1)``)."""
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: Sequence[int]) -> None:
+        if not pattern:
+            raise ConfigurationError("pattern must be non-empty")
+        if any(bit not in (0, 1) for bit in pattern):
+            raise ConfigurationError(f"pattern bits must be 0/1, got {pattern!r}")
+        self.pattern = tuple(int(bit) for bit in pattern)
+
+    def make_state(self) -> list:
+        return [0]
+
+    def next_outcome(self, state: list, history: int, u: float) -> int:
+        idx = state[0]
+        state[0] = (idx + 1) % len(self.pattern)
+        return self.pattern[idx]
+
+    def __repr__(self) -> str:
+        return f"PatternBehavior(pattern={self.pattern})"
+
+
+#: Width of the compact target-history register: the last three target
+#: ids, 3 bits each.  Shared by the trace generator (which feeds it to
+#: :class:`IndirectTargetBehavior`) and by history-indexed target
+#: predictors, mirroring how a real ITTAGE's folded history must match
+#: the program's actual correlation depth to learn anything.
+TARGET_HISTORY_MASK = 0x1FF
+
+
+def update_target_history(history: int, target: int) -> int:
+    """Shift one target id into the compact target-history register."""
+    return ((history << 3) | (target & 7)) & TARGET_HISTORY_MASK
+
+
+class IndirectTargetBehavior:
+    """Target generator for an indirect branch (switch/virtual dispatch).
+
+    An indirect branch is always taken; what varies is its *target*.
+    Targets are drawn from ``n_targets`` possibilities: with probability
+    ``repeat_prob`` the previous target repeats (real dispatch sites are
+    bursty), otherwise a new target is chosen — either correlated with
+    the recent *target history* (capturable by ITTAGE-class predictors)
+    or uniformly at random, per ``history_weight``.
+    """
+
+    __slots__ = ("n_targets", "repeat_prob", "history_weight")
+
+    def __init__(
+        self, n_targets: int, repeat_prob: float = 0.5, history_weight: float = 0.6
+    ) -> None:
+        if n_targets < 2:
+            raise ConfigurationError(f"need at least 2 targets, got {n_targets}")
+        if not 0.0 <= repeat_prob < 1.0:
+            raise ConfigurationError(f"repeat_prob must be in [0, 1), got {repeat_prob}")
+        if not 0.0 <= history_weight <= 1.0:
+            raise ConfigurationError(
+                f"history_weight must be in [0, 1], got {history_weight}"
+            )
+        self.n_targets = n_targets
+        self.repeat_prob = repeat_prob
+        self.history_weight = history_weight
+
+    def make_state(self) -> list:
+        # [previous target]
+        return [0]
+
+    def next_target(self, state: list, target_history: int, u: float) -> int:
+        """Produce the next target id in [0, n_targets)."""
+        previous = state[0]
+        if u < self.repeat_prob:
+            return previous
+        # Rescale u onto [0, 1) past the repeat region.
+        u = (u - self.repeat_prob) / (1.0 - self.repeat_prob)
+        if u < self.history_weight:
+            # Deterministic function of the recent-target register:
+            # learnable by a history-indexed predictor.
+            target = ((target_history * 2654435761) >> 7) % self.n_targets
+        else:
+            target = int(u * 1e9) % self.n_targets
+        state[0] = target
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"IndirectTargetBehavior(n_targets={self.n_targets}, "
+            f"repeat_prob={self.repeat_prob}, history_weight={self.history_weight})"
+        )
+
+
+class GlobalCorrelatedBehavior:
+    """Outcome correlated with selected global-history bits.
+
+    The outcome is the XOR/parity of the history bits selected by
+    *history_bits*, flipped with probability *noise* (so predictability
+    is bounded), and inverted when *invert* is set.  A global-history
+    predictor with enough clean history can learn this mapping almost
+    perfectly; an aliased one cannot.
+    """
+
+    __slots__ = ("history_bits", "noise", "invert")
+
+    def __init__(self, history_bits: Sequence[int], noise: float = 0.05, invert: bool = False) -> None:
+        if not history_bits:
+            raise ConfigurationError("history_bits must be non-empty")
+        if any(bit < 0 or bit > 15 for bit in history_bits):
+            raise ConfigurationError(f"history bit positions must be in [0, 15]: {history_bits!r}")
+        if not 0.0 <= noise <= 0.5:
+            raise ConfigurationError(f"noise must be in [0, 0.5], got {noise}")
+        self.history_bits = tuple(history_bits)
+        self.noise = noise
+        self.invert = invert
+
+    def make_state(self) -> object:
+        return None
+
+    def next_outcome(self, state: object, history: int, u: float) -> int:
+        parity = 0
+        for bit in self.history_bits:
+            parity ^= (history >> bit) & 1
+        if self.invert:
+            parity ^= 1
+        if u < self.noise:
+            parity ^= 1
+        return parity
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalCorrelatedBehavior(history_bits={self.history_bits}, "
+            f"noise={self.noise}, invert={self.invert})"
+        )

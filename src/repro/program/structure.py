@@ -1,0 +1,284 @@
+"""Static structure of a synthetic program.
+
+These classes stand in for the benchmark *source code* of the paper's
+infrastructure: procedures (with their static branch sites) grouped into
+compilation units, plus the heap objects the program allocates.  The
+structure is immutable; the toolchain decides where procedures land in
+the address space and the heap allocator decides where objects land.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.program.behavior import BranchBehavior
+
+#: Bytes per instruction-cache block (matches the Xeon E5440's 64-byte lines).
+CACHE_BLOCK_BYTES = 64
+
+#: Average encoded bytes per x86_64 instruction used by the size model.
+BYTES_PER_INSTRUCTION = 4
+
+
+@dataclass(frozen=True)
+class DataRefSpec:
+    """One data reference a branch site performs each time it executes.
+
+    ``mode`` is ``"stride"`` (walk the object with a fixed stride,
+    wrapping at ``span``) or ``"random"`` (uniform offset within
+    ``span``).  Offsets are 8-byte aligned.
+    """
+
+    object_name: str
+    mode: str = "stride"
+    stride: int = 64
+    start_offset: int = 0
+    span: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("stride", "random"):
+            raise ConfigurationError(f"unknown data-ref mode {self.mode!r}")
+        if self.span <= 0:
+            raise ConfigurationError(f"span must be positive, got {self.span}")
+        if self.mode == "stride" and self.stride == 0:
+            raise ConfigurationError("stride mode requires a non-zero stride")
+        if not 0 <= self.start_offset < self.span:
+            raise ConfigurationError(
+                f"start_offset {self.start_offset} outside span {self.span}"
+            )
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """A static conditional branch within a procedure.
+
+    ``offset`` is the branch instruction's byte offset from the start of
+    its procedure (fixed at compile time; the procedure's *base* moves
+    with layout).  ``instr_gap`` is the number of non-branch instructions
+    retired since the previous branch event, and ``exec_prob`` the
+    probability the site executes during one activation of its
+    procedure.
+    """
+
+    name: str
+    offset: int
+    behavior: BranchBehavior
+    exec_prob: float = 1.0
+    instr_gap: int = 6
+    data_refs: tuple[DataRefSpec, ...] = ()
+    #: When set, this site is an *indirect* branch: the direction is
+    #: whatever ``behavior`` produces (typically always-taken), and this
+    #: generator produces the per-execution target id (§4.1's indirect
+    #: branch predictor / BTB structures).
+    target_behavior: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ConfigurationError(f"site offset must be >= 0, got {self.offset}")
+        if not 0.0 < self.exec_prob <= 1.0:
+            raise ConfigurationError(f"exec_prob must be in (0, 1], got {self.exec_prob}")
+        if self.instr_gap < 0:
+            raise ConfigurationError(f"instr_gap must be >= 0, got {self.instr_gap}")
+
+    def fetch_block_offsets(self) -> tuple[int, ...]:
+        """Procedure-relative offsets of the I-cache blocks this event fetches.
+
+        The front end fetches the straight-line region of ``instr_gap``
+        instructions ending at the branch, so the event touches every
+        64-byte block in ``[offset - instr_gap*4, offset]``.
+        """
+        span = self.instr_gap * BYTES_PER_INSTRUCTION
+        first = max(0, self.offset - span) // CACHE_BLOCK_BYTES
+        last = self.offset // CACHE_BLOCK_BYTES
+        return tuple(b * CACHE_BLOCK_BYTES for b in range(first, last + 1))
+
+
+@dataclass(frozen=True)
+class ProcedureSpec:
+    """A procedure: a contiguous code region containing branch sites."""
+
+    name: str
+    sites: tuple[BranchSite, ...]
+    weight: float = 1.0
+    tail_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigurationError(f"procedure {self.name!r} has no branch sites")
+        offsets = [site.offset for site in self.sites]
+        if offsets != sorted(offsets):
+            raise ConfigurationError(
+                f"procedure {self.name!r} sites must be in increasing offset order"
+            )
+        if len(set(offsets)) != len(offsets):
+            raise ConfigurationError(f"procedure {self.name!r} has duplicate site offsets")
+        if self.weight <= 0.0:
+            raise ConfigurationError(f"procedure weight must be positive, got {self.weight}")
+        if self.tail_bytes < 0:
+            raise ConfigurationError(f"tail_bytes must be >= 0, got {self.tail_bytes}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Code size: last branch offset plus the trailing region."""
+        return self.sites[-1].offset + self.tail_bytes
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A compilation unit: an ordered group of procedure names.
+
+    The Camino pass permutes procedures *within* a file; the linker
+    permutes files on its command line — the paper's two reordering
+    levers (§5.3).
+    """
+
+    name: str
+    procedure_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.procedure_names:
+            raise ConfigurationError(f"source file {self.name!r} has no procedures")
+        if len(set(self.procedure_names)) != len(self.procedure_names):
+            raise ConfigurationError(f"source file {self.name!r} lists a procedure twice")
+
+
+@dataclass(frozen=True)
+class HeapObjectSpec:
+    """A heap allocation the program makes at startup."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"object size must be positive, got {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """The complete static description of a synthetic benchmark.
+
+    ``intrinsic_cpi`` and ``mispredict_exposure`` describe execution
+    characteristics of the *program* that our structural simulation does
+    not derive from first principles: the layout-invariant cycles per
+    instruction the program would spend with perfect front-end behaviour
+    (dependence chains, FP latency, main-memory bandwidth), and the
+    fraction of the machine's misprediction penalty this program cannot
+    hide under other stalls.  They play the role SPEC's actual
+    computation plays on real hardware.
+    """
+
+    name: str
+    procedures: tuple[ProcedureSpec, ...]
+    files: tuple[SourceFile, ...]
+    heap_objects: tuple[HeapObjectSpec, ...] = ()
+    trace_seed_salt: str = ""
+    intrinsic_cpi: float = 0.35
+    mispredict_exposure: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.intrinsic_cpi <= 0.0:
+            raise ConfigurationError(
+                f"intrinsic_cpi must be positive, got {self.intrinsic_cpi}"
+            )
+        if not 0.0 <= self.mispredict_exposure <= 2.0:
+            raise ConfigurationError(
+                f"mispredict_exposure must be in [0, 2], got {self.mispredict_exposure}"
+            )
+        proc_names = [proc.name for proc in self.procedures]
+        if len(set(proc_names)) != len(proc_names):
+            raise ConfigurationError(f"program {self.name!r} has duplicate procedure names")
+        listed = [name for src in self.files for name in src.procedure_names]
+        if sorted(listed) != sorted(proc_names):
+            raise ConfigurationError(
+                f"program {self.name!r}: files must list every procedure exactly once"
+            )
+        object_names = {obj.name for obj in self.heap_objects}
+        if len(object_names) != len(self.heap_objects):
+            raise ConfigurationError(f"program {self.name!r} has duplicate heap objects")
+        for proc in self.procedures:
+            for site in proc.sites:
+                for ref in site.data_refs:
+                    if ref.object_name not in object_names:
+                        raise ConfigurationError(
+                            f"site {site.name!r} references unknown object {ref.object_name!r}"
+                        )
+                    size = next(
+                        obj.size_bytes
+                        for obj in self.heap_objects
+                        if obj.name == ref.object_name
+                    )
+                    if ref.span > size:
+                        raise ConfigurationError(
+                            f"site {site.name!r} span {ref.span} exceeds object "
+                            f"{ref.object_name!r} size {size}"
+                        )
+
+    @property
+    def procedure_index(self) -> Mapping[str, int]:
+        """Map procedure name → index in :attr:`procedures`."""
+        return {proc.name: i for i, proc in enumerate(self.procedures)}
+
+    @property
+    def object_index(self) -> Mapping[str, int]:
+        """Map heap-object name → index in :attr:`heap_objects`."""
+        return {obj.name: i for i, obj in enumerate(self.heap_objects)}
+
+    @property
+    def n_sites(self) -> int:
+        """Total static branch sites across all procedures."""
+        return sum(len(proc.sites) for proc in self.procedures)
+
+    @property
+    def total_code_bytes(self) -> int:
+        """Sum of procedure sizes, before alignment padding."""
+        return sum(proc.size_bytes for proc in self.procedures)
+
+    def site_table(self) -> list[tuple[int, BranchSite]]:
+        """Flat list of ``(procedure_index, site)`` in global site order.
+
+        Global site ids are assigned in procedure-declaration order, then
+        site-offset order — independent of layout.
+        """
+        table: list[tuple[int, BranchSite]] = []
+        for proc_idx, proc in enumerate(self.procedures):
+            for site in proc.sites:
+                table.append((proc_idx, site))
+        return table
+
+    def procedure(self, name: str) -> ProcedureSpec:
+        """Look up a procedure by name."""
+        for proc in self.procedures:
+            if proc.name == name:
+                return proc
+        raise WorkloadError(f"program {self.name!r} has no procedure {name!r}")
+
+    @cached_property
+    def digest(self) -> str:
+        """Content digest of the static structure.
+
+        Two specs with equal digests generate identical canonical traces
+        for equal seeds; used as a cache key.
+        """
+        hasher = hashlib.blake2b(digest_size=12)
+        hasher.update(self.name.encode())
+        for proc in self.procedures:
+            hasher.update(proc.name.encode())
+            hasher.update(proc.size_bytes.to_bytes(8, "little"))
+            for site in proc.sites:
+                hasher.update(site.offset.to_bytes(8, "little"))
+                hasher.update(site.instr_gap.to_bytes(4, "little"))
+                hasher.update(repr(site.behavior).encode())
+                if site.target_behavior is not None:
+                    hasher.update(repr(site.target_behavior).encode())
+                for ref in site.data_refs:
+                    hasher.update(
+                        f"{ref.object_name}/{ref.mode}/{ref.stride}/{ref.span}".encode()
+                    )
+        for obj in self.heap_objects:
+            hasher.update(f"{obj.name}/{obj.size_bytes}".encode())
+        return hasher.hexdigest()

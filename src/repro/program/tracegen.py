@@ -1,0 +1,302 @@
+"""Canonical trace generation.
+
+A :class:`Trace` is the dynamic behaviour of one benchmark run: the
+ordered sequence of branch events (static site id + outcome), the
+instruction-fetch block references between them, and the heap data
+references they perform.  It is generated once per benchmark from a seed
+and is *layout-invariant*: the toolchain and heap allocator later bind
+site/block/object identities to addresses, but the event sequence, the
+outcomes, and the retired-instruction count never change.  This realizes
+the paper's methodological invariant that every reordered executable
+"executes the same number of user instructions" (§5.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.program.behavior import update_target_history
+from repro.program.structure import ProgramSpec
+from repro.rng import RandomStream
+
+_HISTORY_MASK = 0xFFFF
+_CHUNK = 1 << 15
+
+
+class _UniformPool:
+    """Chunked deterministic uniform [0,1) variates from a numpy RNG."""
+
+    __slots__ = ("_rng", "_chunk", "_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._chunk = rng.random(_CHUNK)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= _CHUNK:
+            self._chunk = self._rng.random(_CHUNK)
+            self._pos = 0
+        value = self._chunk[self._pos]
+        self._pos += 1
+        return value
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Canonical dynamic trace of one benchmark.
+
+    Attributes
+    ----------
+    site_ids / outcomes:
+        Per branch event: global static-site id and taken(1)/not-taken(0).
+    site_proc / site_offset / site_instr_gap:
+        Per static site: owning procedure index, byte offset within the
+        procedure, and instructions retired before the branch.
+    targets:
+        Per branch event: the indirect-branch target id, or -1 for
+        ordinary conditional branches.
+    iacc_proc / iacc_offset / iacc_event:
+        Per instruction-fetch reference: procedure index, block byte
+        offset within the procedure, and the branch-event index it
+        belongs to (for ordering at the unified L2).
+    dacc_obj / dacc_offset / dacc_event:
+        Per data reference: heap object index, byte offset within the
+        object, owning branch-event index.
+    activation_proc / activation_start:
+        Per procedure activation: procedure index and the index of its
+        first branch event (activation k covers events
+        ``[activation_start[k], activation_start[k+1])``).
+    """
+
+    program: str
+    seed: int
+    site_ids: np.ndarray
+    outcomes: np.ndarray
+    site_proc: np.ndarray
+    site_offset: np.ndarray
+    site_instr_gap: np.ndarray
+    targets: np.ndarray
+    iacc_proc: np.ndarray
+    iacc_offset: np.ndarray
+    iacc_event: np.ndarray
+    dacc_obj: np.ndarray
+    dacc_offset: np.ndarray
+    dacc_event: np.ndarray
+    activation_proc: np.ndarray
+    activation_start: np.ndarray
+
+    @property
+    def n_events(self) -> int:
+        """Number of dynamic branch events."""
+        return int(self.site_ids.size)
+
+    @cached_property
+    def total_instructions(self) -> int:
+        """Retired instructions: every branch plus its preceding gap."""
+        gaps = self.site_instr_gap[self.site_ids]
+        return int(gaps.sum()) + self.n_events
+
+    @cached_property
+    def instructions_before_event(self) -> np.ndarray:
+        """Cumulative retired instructions before each branch event."""
+        gaps = self.site_instr_gap[self.site_ids].astype(np.int64)
+        per_event = gaps + 1
+        cum = np.cumsum(per_event)
+        return cum - per_event
+
+    @property
+    def branch_density_per_kilo_instruction(self) -> float:
+        """Dynamic branches per 1000 retired instructions."""
+        return self.n_events / self.total_instructions * 1000.0
+
+    def instructions_up_to(self, n_events: int) -> int:
+        """Retired instructions in the first *n_events* branch events."""
+        if n_events <= 0:
+            return 0
+        if n_events >= self.n_events:
+            return self.total_instructions
+        gaps = self.site_instr_gap[self.site_ids[:n_events]]
+        return int(gaps.sum()) + n_events
+
+    def truncated(self, n_events: int) -> "Trace":
+        """Return a copy truncated to the first *n_events* branch events.
+
+        Used by the run-limit instrumentation pass; truncation happens at
+        the same canonical event index for every layout, preserving the
+        identical-instruction-count invariant.
+        """
+        if n_events >= self.n_events:
+            return self
+        if n_events <= 0:
+            raise ConfigurationError(f"cannot truncate to {n_events} events")
+        i_keep = self.iacc_event < n_events
+        d_keep = self.dacc_event < n_events
+        a_keep = self.activation_start[:-1] < n_events
+        starts = self.activation_start[:-1][a_keep]
+        return Trace(
+            program=self.program,
+            seed=self.seed,
+            site_ids=self.site_ids[:n_events],
+            outcomes=self.outcomes[:n_events],
+            site_proc=self.site_proc,
+            site_offset=self.site_offset,
+            site_instr_gap=self.site_instr_gap,
+            targets=self.targets[:n_events],
+            iacc_proc=self.iacc_proc[i_keep],
+            iacc_offset=self.iacc_offset[i_keep],
+            iacc_event=self.iacc_event[i_keep],
+            dacc_obj=self.dacc_obj[d_keep],
+            dacc_offset=self.dacc_offset[d_keep],
+            dacc_event=self.dacc_event[d_keep],
+            activation_proc=self.activation_proc[a_keep],
+            activation_start=np.concatenate([starts, [n_events]]).astype(np.int64),
+        )
+
+
+def generate_trace(spec: ProgramSpec, seed: int, n_events: int) -> Trace:
+    """Generate the canonical trace of *spec* with *n_events* branch events.
+
+    The generator walks procedure activations drawn from the procedures'
+    weights; each activation executes the procedure's branch sites in
+    offset order, gated by their ``exec_prob``.  Outcomes come from each
+    site's behaviour model fed with the global outcome history and a
+    deterministic uniform stream, so the trace depends only on
+    ``(spec, seed, n_events)``.
+    """
+    if n_events <= 0:
+        raise ConfigurationError(f"n_events must be positive, got {n_events}")
+    stream = RandomStream(seed, f"trace/{spec.name}/{spec.trace_seed_salt}")
+    np_rng = stream.numpy_rng()
+    pool = _UniformPool(np_rng)
+
+    site_table = spec.site_table()
+    n_sites = len(site_table)
+    if n_sites == 0:
+        raise ConfigurationError(f"program {spec.name!r} has no branch sites")
+
+    # Per-site static tables (global site id order).
+    site_proc = np.array([proc_idx for proc_idx, _ in site_table], dtype=np.int32)
+    site_offset = np.array([site.offset for _, site in site_table], dtype=np.int64)
+    site_instr_gap = np.array([site.instr_gap for _, site in site_table], dtype=np.int32)
+
+    # Per-site runtime structures.
+    behaviors = [site.behavior for _, site in site_table]
+    states = [behavior.make_state() for behavior in behaviors]
+    target_behaviors = [site.target_behavior for _, site in site_table]
+    target_states = [
+        behavior.make_state() if behavior is not None else None
+        for behavior in target_behaviors
+    ]
+    exec_probs = [site.exec_prob for _, site in site_table]
+    fetch_blocks = [site.fetch_block_offsets() for _, site in site_table]
+
+    object_index = spec.object_index
+    # Per-site resolved data refs: (obj_id, is_random, stride, start, span).
+    site_refs: list[list[tuple[int, bool, int, int, int]]] = []
+    for _, site in site_table:
+        refs = []
+        for ref in site.data_refs:
+            refs.append(
+                (
+                    object_index[ref.object_name],
+                    ref.mode == "random",
+                    ref.stride,
+                    ref.start_offset,
+                    ref.span,
+                )
+            )
+        site_refs.append(refs)
+    site_exec_count = [0] * n_sites
+
+    # Per-procedure site-id lists in offset order.
+    proc_sites: list[list[int]] = [[] for _ in spec.procedures]
+    for gid, (proc_idx, _) in enumerate(site_table):
+        proc_sites[proc_idx].append(gid)
+
+    weights = np.array([proc.weight for proc in spec.procedures], dtype=np.float64)
+    weights = weights / weights.sum()
+
+    site_seq: list[int] = []
+    outcome_seq: list[int] = []
+    target_seq: list[int] = []
+    iacc_proc: list[int] = []
+    iacc_offset: list[int] = []
+    iacc_event: list[int] = []
+    dacc_obj: list[int] = []
+    dacc_offset: list[int] = []
+    dacc_event: list[int] = []
+    activation_proc: list[int] = []
+    activation_start: list[int] = []
+
+    history = 0
+    target_history = 0
+    event = 0
+    n_procs = len(spec.procedures)
+    while event < n_events:
+        # Draw a batch of activations at once for speed.
+        batch = np_rng.choice(n_procs, size=256, p=weights)
+        for proc_idx in batch:
+            proc_idx = int(proc_idx)
+            activation_proc.append(proc_idx)
+            activation_start.append(event)
+            for gid in proc_sites[proc_idx]:
+                prob = exec_probs[gid]
+                if prob < 1.0 and pool.next() >= prob:
+                    continue
+                outcome = behaviors[gid].next_outcome(states[gid], history, pool.next())
+                history = ((history << 1) | outcome) & _HISTORY_MASK
+                site_seq.append(gid)
+                outcome_seq.append(outcome)
+                target_behavior = target_behaviors[gid]
+                if target_behavior is not None:
+                    target = target_behavior.next_target(
+                        target_states[gid], target_history, pool.next()
+                    )
+                    target_history = update_target_history(target_history, target)
+                    target_seq.append(target)
+                else:
+                    target_seq.append(-1)
+                for block in fetch_blocks[gid]:
+                    iacc_proc.append(site_proc[gid])
+                    iacc_offset.append(block)
+                    iacc_event.append(event)
+                exec_idx = site_exec_count[gid]
+                site_exec_count[gid] = exec_idx + 1
+                for obj_id, is_random, stride, start, span in site_refs[gid]:
+                    if is_random:
+                        off = int(pool.next() * span) & ~7
+                    else:
+                        off = (start + stride * exec_idx) % span & ~7
+                    dacc_obj.append(obj_id)
+                    dacc_offset.append(off)
+                    dacc_event.append(event)
+                event += 1
+                if event >= n_events:
+                    break
+            if event >= n_events:
+                break
+
+    activation_start.append(n_events)
+    return Trace(
+        program=spec.name,
+        seed=seed,
+        site_ids=np.array(site_seq, dtype=np.int32),
+        outcomes=np.array(outcome_seq, dtype=np.uint8),
+        targets=np.array(target_seq, dtype=np.int32),
+        site_proc=site_proc,
+        site_offset=site_offset,
+        site_instr_gap=site_instr_gap,
+        iacc_proc=np.array(iacc_proc, dtype=np.int32),
+        iacc_offset=np.array(iacc_offset, dtype=np.int64),
+        iacc_event=np.array(iacc_event, dtype=np.int64),
+        dacc_obj=np.array(dacc_obj, dtype=np.int32),
+        dacc_offset=np.array(dacc_offset, dtype=np.int64),
+        dacc_event=np.array(dacc_event, dtype=np.int64),
+        activation_proc=np.array(activation_proc, dtype=np.int32),
+        activation_start=np.array(activation_start, dtype=np.int64),
+    )

@@ -1,0 +1,149 @@
+"""Deterministic, forkable random-number streams.
+
+Every stochastic choice in the library — procedure orderings, object-file
+orderings, heap placement, branch outcome generation, measurement noise —
+flows through a :class:`RandomStream` derived from a root seed and a
+string path.  This reproduces the paper's methodology: "Camino accepts a
+seed to a pseudorandom number generator to generate pseudo-random but
+reproducible orderings" (§5.3).  Given the same root seed, every run of
+every experiment is bit-identical.
+
+The generator is SplitMix64, which has a 64-bit state, passes BigCrush,
+and — crucially for us — supports cheap keyed derivation: a child stream
+is seeded by hashing the parent seed with the child's name, so streams
+are independent of the *order* in which they are created.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence, TypeVar
+
+import numpy as np
+
+_T = TypeVar("_T")
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(state: int) -> tuple[int, int]:
+    """Advance SplitMix64 once; return (new_state, output)."""
+    state = (state + _GOLDEN) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return state, z
+
+
+def derive_seed(parent_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a parent seed and a stream name.
+
+    Uses BLAKE2b keyed hashing so that distinct names give statistically
+    independent seeds and the derivation is stable across Python versions.
+    """
+    digest = hashlib.blake2b(
+        name.encode("utf-8"),
+        digest_size=8,
+        key=(parent_seed & _MASK64).to_bytes(8, "little"),
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+class RandomStream:
+    """A named deterministic random stream.
+
+    Parameters
+    ----------
+    seed:
+        64-bit seed.  Streams with equal seeds produce equal sequences.
+    path:
+        Human-readable provenance of the stream (for debugging and repr);
+        does not affect the sequence.
+    """
+
+    __slots__ = ("_state", "path", "seed")
+
+    def __init__(self, seed: int, path: str = "root") -> None:
+        self.seed = seed & _MASK64
+        self.path = path
+        self._state = self.seed
+
+    def fork(self, name: str) -> "RandomStream":
+        """Create an independent child stream keyed by *name*.
+
+        Forking does not advance this stream, and the child depends only
+        on ``(self.seed, name)`` — never on how much of this stream has
+        already been consumed.
+        """
+        return RandomStream(derive_seed(self.seed, name), f"{self.path}/{name}")
+
+    def next_u64(self) -> int:
+        """Return the next raw 64-bit output."""
+        self._state, out = _splitmix64(self._state)
+        return out
+
+    def uniform(self) -> float:
+        """Return a float uniform on [0, 1)."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def randint(self, low: int, high: int) -> int:
+        """Return an integer uniform on [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        # Rejection sampling to avoid modulo bias.
+        limit = (_MASK64 + 1) - ((_MASK64 + 1) % span)
+        while True:
+            value = self.next_u64()
+            if value < limit:
+                return low + (value % span)
+
+    def choice(self, items: Sequence[_T]) -> _T:
+        """Return a uniformly chosen element of *items*."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.randint(0, len(items) - 1)]
+
+    def shuffle(self, items: List[_T]) -> None:
+        """Shuffle *items* in place (Fisher-Yates)."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]
+
+    def permutation(self, n: int) -> List[int]:
+        """Return a uniformly random permutation of ``range(n)``."""
+        order = list(range(n))
+        self.shuffle(order)
+        return order
+
+    def gauss(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        """Return a normal variate (Box-Muller, one draw per call pair)."""
+        # Two uniforms per pair of variates; we discard the second variate
+        # for simplicity and determinism of call patterns.
+        import math
+
+        u1 = max(self.uniform(), 1e-300)
+        u2 = self.uniform()
+        return mean + sigma * math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+    def numpy_rng(self) -> np.random.Generator:
+        """Return a numpy Generator seeded from this stream's seed.
+
+        Used for bulk array generation (canonical traces).  The numpy
+        generator is seeded once from the stream seed, so bulk draws are
+        reproducible and independent of scalar draws on this stream.
+        """
+        return np.random.Generator(np.random.PCG64(self.seed))
+
+    def sample_without_replacement(self, population: Iterable[_T], k: int) -> List[_T]:
+        """Return *k* distinct elements sampled uniformly from *population*."""
+        pool = list(population)
+        if k > len(pool):
+            raise ValueError(f"cannot sample {k} from population of {len(pool)}")
+        self.shuffle(pool)
+        return pool[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStream(seed=0x{self.seed:016x}, path={self.path!r})"

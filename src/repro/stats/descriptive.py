@@ -1,0 +1,176 @@
+"""Descriptive statistics and violin-plot density profiles.
+
+The paper's Figure 1 is a violin plot of the percentage CPI deviation
+from the mean over 100 code reorderings.  :func:`violin_profile` computes
+exactly the series such a plot renders: a grid of deviation values and a
+kernel-density estimate of the observation density at each grid point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ModelError(f"expected a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ModelError("expected at least one observation")
+    if not np.all(np.isfinite(arr)):
+        raise ModelError("observations contain NaN or infinity")
+    return arr
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    return float(np.mean(_as_array(values)))
+
+
+def variance(values: Sequence[float], ddof: int = 1) -> float:
+    """Sample variance (``ddof=1``) or population variance (``ddof=0``)."""
+    arr = _as_array(values)
+    if arr.size <= ddof:
+        raise ModelError(f"need more than {ddof} observations for variance")
+    return float(np.var(arr, ddof=ddof))
+
+
+def std(values: Sequence[float], ddof: int = 1) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(variance(values, ddof=ddof))
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median."""
+    return float(np.median(_as_array(values)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not 0.0 <= q <= 100.0:
+        raise ModelError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(_as_array(values), q))
+
+
+def percent_deviation_from_mean(values: Sequence[float]) -> np.ndarray:
+    """Per-observation percent difference from the sample mean.
+
+    This is the quantity plotted on the y-axis of the paper's Figure 1
+    violin plots ("percent difference from average performance").
+    """
+    arr = _as_array(values)
+    center = arr.mean()
+    if center == 0.0:
+        raise ModelError("mean is zero; percent deviation undefined")
+    return (arr - center) / center * 100.0
+
+
+@dataclass(frozen=True)
+class DescriptiveSummary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.p75 - self.p25
+
+    @property
+    def spread_percent(self) -> float:
+        """Full range as a percentage of the mean (0 if mean is 0)."""
+        if self.mean == 0.0:
+            return 0.0
+        return (self.maximum - self.minimum) / abs(self.mean) * 100.0
+
+
+def summarize(values: Sequence[float]) -> DescriptiveSummary:
+    """Compute a :class:`DescriptiveSummary` of *values*."""
+    arr = _as_array(values)
+    return DescriptiveSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        p75=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )
+
+
+def _silverman_bandwidth(arr: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth for a Gaussian kernel."""
+    n = arr.size
+    sigma = arr.std(ddof=1) if n > 1 else 0.0
+    iqr = float(np.percentile(arr, 75) - np.percentile(arr, 25))
+    scale = min(sigma, iqr / 1.34) if iqr > 0 else sigma
+    if scale <= 0.0:
+        scale = max(abs(arr.mean()), 1.0) * 1e-3
+    return 0.9 * scale * n ** (-0.2)
+
+
+def gaussian_kde_density(
+    values: Sequence[float],
+    grid: Sequence[float] | None = None,
+    bandwidth: float | None = None,
+    grid_points: int = 64,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian kernel-density estimate.
+
+    Returns ``(grid, density)`` arrays.  If *grid* is None, an evenly
+    spaced grid spanning the data plus three bandwidths is used.
+    """
+    arr = _as_array(values)
+    h = bandwidth if bandwidth is not None else _silverman_bandwidth(arr)
+    if h <= 0.0:
+        raise ModelError(f"bandwidth must be positive, got {h}")
+    if grid is None:
+        lo = float(arr.min()) - 3.0 * h
+        hi = float(arr.max()) + 3.0 * h
+        grid_arr = np.linspace(lo, hi, grid_points)
+    else:
+        grid_arr = np.asarray(grid, dtype=np.float64)
+    # (grid, n) matrix of standardized distances.
+    z = (grid_arr[:, None] - arr[None, :]) / h
+    density = np.exp(-0.5 * z * z).sum(axis=1) / (arr.size * h * math.sqrt(2.0 * math.pi))
+    return grid_arr, density
+
+
+@dataclass(frozen=True)
+class ViolinProfile:
+    """The series a violin plot renders for one benchmark.
+
+    ``grid`` holds percent-deviation-from-mean values; ``density`` holds
+    the estimated probability density at each grid value (the violin's
+    half-width); ``summary`` describes the underlying deviations.
+    """
+
+    grid: np.ndarray
+    density: np.ndarray
+    summary: DescriptiveSummary
+
+    @property
+    def max_abs_deviation(self) -> float:
+        """Largest absolute percent deviation observed."""
+        return max(abs(self.summary.minimum), abs(self.summary.maximum))
+
+
+def violin_profile(values: Sequence[float], grid_points: int = 64) -> ViolinProfile:
+    """Compute the Figure-1 violin profile for a sample of CPIs."""
+    deviations = percent_deviation_from_mean(values)
+    grid, density = gaussian_kde_density(deviations, grid_points=grid_points)
+    return ViolinProfile(grid=grid, density=density, summary=summarize(deviations))

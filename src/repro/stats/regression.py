@@ -1,0 +1,218 @@
+"""Least-squares regression (paper §5.8 item 3).
+
+Two estimators are provided:
+
+* :func:`fit_simple` — ordinary least squares of ``y = m*x + b``, the
+  model the paper uses for CPI-vs-MPKI (e.g. CPI = 0.02799*MPKI +
+  0.51667 for 400.perlbench).
+* :func:`fit_multiple` — multiple linear regression of ``y`` on several
+  regressors, used for the combined branch/L1I/L2 model of §6.1.
+
+Both are implemented from scratch (normal equations via QR); numpy
+supplies only linear algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _paired(x: Sequence[float], y: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.ndim != 1 or xa.shape != ya.shape:
+        raise ModelError(f"paired 1-D samples required, got {xa.shape} and {ya.shape}")
+    if not (np.all(np.isfinite(xa)) and np.all(np.isfinite(ya))):
+        raise ModelError("regression inputs contain NaN or infinity")
+    return xa, ya
+
+
+@dataclass(frozen=True)
+class SimpleLinearFit:
+    """Result of a simple (one-regressor) least-squares fit.
+
+    Attributes mirror the paper's Table 1: ``slope`` is the CPI cost of
+    one additional unit of the regressor, ``intercept`` the predicted
+    response at regressor value 0 (perfect prediction when the regressor
+    is MPKI).
+    """
+
+    slope: float
+    intercept: float
+    n: int
+    x_mean: float
+    sxx: float
+    residual_ss: float
+    total_ss: float
+
+    @property
+    def degrees_of_freedom(self) -> int:
+        """Residual degrees of freedom (n - 2)."""
+        return self.n - 2
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination of the fit."""
+        if self.total_ss == 0.0:
+            return 0.0
+        return 1.0 - self.residual_ss / self.total_ss
+
+    @property
+    def residual_variance(self) -> float:
+        """Unbiased estimate of the error variance (MSE)."""
+        if self.degrees_of_freedom <= 0:
+            raise ModelError("need at least 3 observations for residual variance")
+        return self.residual_ss / self.degrees_of_freedom
+
+    @property
+    def slope_stderr(self) -> float:
+        """Standard error of the slope estimate."""
+        if self.sxx == 0.0:
+            raise ModelError("regressor has zero variance")
+        return math.sqrt(self.residual_variance / self.sxx)
+
+    def predict(self, x0: float) -> float:
+        """Point prediction of the mean response at *x0*."""
+        return self.slope * x0 + self.intercept
+
+    def predict_many(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized point prediction."""
+        return self.slope * np.asarray(xs, dtype=np.float64) + self.intercept
+
+
+def fit_simple(x: Sequence[float], y: Sequence[float]) -> SimpleLinearFit:
+    """Fit ``y = slope*x + intercept`` by ordinary least squares."""
+    xa, ya = _paired(x, y)
+    n = xa.size
+    if n < 3:
+        raise ModelError(f"need at least 3 observations to fit a line, got {n}")
+    x_mean = float(xa.mean())
+    y_mean = float(ya.mean())
+    xd = xa - x_mean
+    yd = ya - y_mean
+    sxx = float(np.dot(xd, xd))
+    if sxx == 0.0:
+        raise ModelError("regressor has zero variance; slope undefined")
+    sxy = float(np.dot(xd, yd))
+    slope = sxy / sxx
+    intercept = y_mean - slope * x_mean
+    residuals = ya - (slope * xa + intercept)
+    return SimpleLinearFit(
+        slope=slope,
+        intercept=intercept,
+        n=n,
+        x_mean=x_mean,
+        sxx=sxx,
+        residual_ss=float(np.dot(residuals, residuals)),
+        total_ss=float(np.dot(yd, yd)),
+    )
+
+
+@dataclass(frozen=True)
+class MultipleLinearFit:
+    """Result of a multiple least-squares fit ``y = b0 + b1*x1 + ...``.
+
+    ``coefficients[0]`` is the intercept; ``coefficients[k]`` multiplies
+    regressor column ``k-1``.  ``xtx_inv`` is (XᵀX)⁻¹ with the intercept
+    column included, needed for interval computation.
+    """
+
+    coefficients: np.ndarray
+    n: int
+    k: int
+    residual_ss: float
+    total_ss: float
+    xtx_inv: np.ndarray = field(repr=False)
+    regressor_names: tuple[str, ...] = ()
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept term."""
+        return float(self.coefficients[0])
+
+    @property
+    def degrees_of_freedom(self) -> int:
+        """Residual degrees of freedom (n - k - 1)."""
+        return self.n - self.k - 1
+
+    @property
+    def r_squared(self) -> float:
+        """Coefficient of determination of the combined model."""
+        if self.total_ss == 0.0:
+            return 0.0
+        return 1.0 - self.residual_ss / self.total_ss
+
+    @property
+    def residual_variance(self) -> float:
+        """Unbiased error-variance estimate (MSE)."""
+        if self.degrees_of_freedom <= 0:
+            raise ModelError("not enough observations for residual variance")
+        return self.residual_ss / self.degrees_of_freedom
+
+    def predict(self, x0: Sequence[float]) -> float:
+        """Point prediction at regressor vector *x0* (length k)."""
+        row = np.concatenate(([1.0], np.asarray(x0, dtype=np.float64)))
+        if row.size != self.k + 1:
+            raise ModelError(f"expected {self.k} regressors, got {row.size - 1}")
+        return float(row @ self.coefficients)
+
+    def coefficient(self, name: str) -> float:
+        """Return the coefficient of the named regressor."""
+        try:
+            idx = self.regressor_names.index(name)
+        except ValueError:
+            raise ModelError(f"unknown regressor {name!r}; have {self.regressor_names}") from None
+        return float(self.coefficients[idx + 1])
+
+
+def fit_multiple(
+    columns: Sequence[Sequence[float]],
+    y: Sequence[float],
+    names: Sequence[str] | None = None,
+) -> MultipleLinearFit:
+    """Fit a multiple linear regression of *y* on the given columns.
+
+    *columns* is a sequence of k regressor columns, each of length n.
+    The design matrix gets an implicit intercept column.
+    """
+    ya = np.asarray(y, dtype=np.float64)
+    if ya.ndim != 1:
+        raise ModelError("response must be 1-D")
+    cols = [np.asarray(c, dtype=np.float64) for c in columns]
+    if not cols:
+        raise ModelError("need at least one regressor column")
+    n = ya.size
+    for c in cols:
+        if c.shape != (n,):
+            raise ModelError(f"regressor column shape {c.shape} != response length {n}")
+    k = len(cols)
+    if n < k + 2:
+        raise ModelError(f"need at least {k + 2} observations for {k} regressors, got {n}")
+    design = np.column_stack([np.ones(n)] + cols)
+    # QR solve for numerical stability; xtx_inv via R factor.
+    q, r = np.linalg.qr(design)
+    if np.min(np.abs(np.diag(r))) < 1e-12 * max(1.0, float(np.max(np.abs(r)))):
+        raise ModelError("design matrix is rank-deficient (collinear regressors)")
+    beta = np.linalg.solve(r, q.T @ ya)
+    r_inv = np.linalg.inv(r)
+    xtx_inv = r_inv @ r_inv.T
+    residuals = ya - design @ beta
+    yd = ya - ya.mean()
+    resolved_names = tuple(names) if names is not None else tuple(f"x{i+1}" for i in range(k))
+    if len(resolved_names) != k:
+        raise ModelError(f"got {len(resolved_names)} names for {k} regressors")
+    return MultipleLinearFit(
+        coefficients=beta,
+        n=n,
+        k=k,
+        residual_ss=float(np.dot(residuals, residuals)),
+        total_ss=float(np.dot(yd, yd)),
+        xtx_inv=xtx_inv,
+        regressor_names=resolved_names,
+    )

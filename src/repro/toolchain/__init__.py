@@ -1,0 +1,25 @@
+"""Compilation toolchain: the Camino/GCC/linker stand-in.
+
+The paper compiles each benchmark once to assembly, then produces
+hundreds of executables by (a) permuting procedures within assembly
+files with the Camino post-processor and (b) permuting object files on
+the linker command line (§5.3).  This package reproduces that pipeline:
+:class:`~repro.toolchain.camino.Camino` applies a seeded reordering pass
+and a run-limit instrumentation pass, :mod:`~repro.toolchain.linker`
+lays out procedures in encounter order, and the result is an
+:class:`~repro.toolchain.executable.Executable` whose branch, fetch, and
+data events are bound to concrete addresses.
+"""
+
+from repro.toolchain.camino import Camino, RunLimitPass
+from repro.toolchain.executable import Executable
+from repro.toolchain.linker import CodeLayout, ObjectFile, link
+
+__all__ = [
+    "Camino",
+    "CodeLayout",
+    "Executable",
+    "ObjectFile",
+    "RunLimitPass",
+    "link",
+]

@@ -1,0 +1,97 @@
+"""Executable images: a trace bound to concrete addresses.
+
+An :class:`Executable` combines a program spec, its canonical trace
+(possibly truncated by the run-limit pass), a :class:`CodeLayout` from
+the linker, and a :class:`DataLayout` from the heap allocator.  It is
+the unit everything downstream consumes: the machine's PMC facade runs
+executables, and the Pin-style tool simulates predictors over them.
+Address binding is pure numpy gathering, so hundreds of layouts are
+cheap to produce from one canonical trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.heap.layout import DataLayout
+from repro.program.structure import ProgramSpec
+from repro.program.tracegen import Trace
+from repro.toolchain.linker import CodeLayout
+
+
+@dataclass(frozen=True)
+class Executable:
+    """A semantically fixed program with one concrete code/data layout."""
+
+    spec: ProgramSpec
+    trace: Trace
+    code_layout: CodeLayout
+    data_layout: DataLayout
+    layout_seed: int
+    heap_seed: int | None = None
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable identity of (program, trace, code layout, data layout).
+
+        Two executables with equal fingerprints produce identical
+        deterministic microarchitectural event counts, which lets the
+        machine model cache structural simulation results.
+        """
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(self.spec.digest.encode())
+        hasher.update(self.trace.seed.to_bytes(8, "little", signed=False))
+        hasher.update(self.trace.n_events.to_bytes(8, "little"))
+        hasher.update(np.ascontiguousarray(self.code_layout.proc_base).tobytes())
+        hasher.update(np.ascontiguousarray(self.data_layout.object_base).tobytes())
+        return hasher.hexdigest()
+
+    @property
+    def n_instructions(self) -> int:
+        """Retired instructions per run (identical across layouts)."""
+        return self.trace.total_instructions
+
+    def branch_site_addresses(self) -> np.ndarray:
+        """Address of every static branch site (global site-id order)."""
+        key = "site_addrs"
+        if key not in self._cache:
+            self._cache[key] = (
+                self.code_layout.proc_base[self.trace.site_proc] + self.trace.site_offset
+            )
+        return self._cache[key]
+
+    def branch_address_stream(self) -> np.ndarray:
+        """Per-event branch instruction addresses (length = n_events)."""
+        key = "branch_stream"
+        if key not in self._cache:
+            self._cache[key] = self.branch_site_addresses()[self.trace.site_ids]
+        return self._cache[key]
+
+    def ifetch_address_stream(self) -> np.ndarray:
+        """Per-reference instruction-fetch block addresses."""
+        key = "ifetch_stream"
+        if key not in self._cache:
+            self._cache[key] = (
+                self.code_layout.proc_base[self.trace.iacc_proc] + self.trace.iacc_offset
+            )
+        return self._cache[key]
+
+    def data_address_stream(self) -> np.ndarray:
+        """Per-reference data addresses."""
+        key = "data_stream"
+        if key not in self._cache:
+            self._cache[key] = (
+                self.data_layout.object_base[self.trace.dacc_obj] + self.trace.dacc_offset
+            )
+        return self._cache[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Executable({self.spec.name!r}, layout_seed={self.layout_seed}, "
+            f"heap_seed={self.heap_seed}, events={self.trace.n_events})"
+        )

@@ -1,0 +1,103 @@
+"""Linker model.
+
+"The linker lays code out in the order in which it is encountered on the
+command line, so each random procedure and object-file ordering results
+in a different code layout" (§4.4).  :func:`link` walks object files in
+command-line order and procedures within each file in their (possibly
+reordered) order, assigning each procedure an aligned base address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LinkError
+from repro.program.structure import ProgramSpec
+
+#: Default text-segment base, mirroring the System V x86_64 default.
+DEFAULT_TEXT_BASE = 0x400000
+
+#: Default procedure alignment: compilers align procedure entry points to
+#: 16 bytes so the first fetch reads a full fetch block (§4.1).
+DEFAULT_ALIGNMENT = 16
+
+
+@dataclass(frozen=True)
+class ObjectFile:
+    """An assembled compilation unit: an ordered list of procedures."""
+
+    name: str
+    procedure_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.procedure_names:
+            raise LinkError(f"object file {self.name!r} is empty")
+        if len(set(self.procedure_names)) != len(self.procedure_names):
+            raise LinkError(f"object file {self.name!r} defines a procedure twice")
+
+
+@dataclass(frozen=True)
+class CodeLayout:
+    """The result of linking: a base address for every procedure.
+
+    ``proc_base[i]`` is the address of procedure ``i`` in the program
+    spec's declaration order (stable, layout-independent ids);
+    ``link_order`` records the procedure names in address order for
+    inspection and debugging.
+    """
+
+    program: str
+    proc_base: np.ndarray
+    text_base: int
+    text_size: int
+    link_order: tuple[str, ...]
+
+    def base_of(self, spec: ProgramSpec, name: str) -> int:
+        """Base address of the named procedure."""
+        return int(self.proc_base[spec.procedure_index[name]])
+
+
+def link(
+    spec: ProgramSpec,
+    object_files: Sequence[ObjectFile],
+    text_base: int = DEFAULT_TEXT_BASE,
+    alignment: int = DEFAULT_ALIGNMENT,
+) -> CodeLayout:
+    """Lay out *object_files* in command-line order.
+
+    Every procedure of *spec* must appear exactly once across the object
+    files.  Each procedure is aligned to *alignment* bytes; addresses
+    never overlap.
+    """
+    if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+        raise LinkError(f"alignment must be a positive power of two, got {alignment}")
+    index = spec.procedure_index
+    seen: set[str] = set()
+    proc_base = np.zeros(len(spec.procedures), dtype=np.int64)
+    cursor = text_base
+    order: list[str] = []
+    for obj in object_files:
+        for name in obj.procedure_names:
+            if name not in index:
+                raise LinkError(f"object file {obj.name!r} defines unknown symbol {name!r}")
+            if name in seen:
+                raise LinkError(f"duplicate symbol {name!r} while linking {spec.name!r}")
+            seen.add(name)
+            cursor = (cursor + alignment - 1) & ~(alignment - 1)
+            proc_idx = index[name]
+            proc_base[proc_idx] = cursor
+            cursor += spec.procedures[proc_idx].size_bytes
+            order.append(name)
+    missing = set(index) - seen
+    if missing:
+        raise LinkError(f"undefined symbols while linking {spec.name!r}: {sorted(missing)}")
+    return CodeLayout(
+        program=spec.name,
+        proc_base=proc_base,
+        text_base=text_base,
+        text_size=cursor - text_base,
+        link_order=tuple(order),
+    )

@@ -1,0 +1,62 @@
+"""Microarchitectural structures.
+
+Branch predictors, branch target buffers, and set-associative caches —
+the address-hashed structures whose accidental collisions program
+interferometry measures (§4.1).  Every structure indexes its tables with
+instruction or data address bits, so code/data placement decides which
+entries collide.
+"""
+
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+    SkewedAssociativeCache,
+)
+from repro.uarch.predictors import (
+    AgreePredictor,
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    GAsPredictor,
+    GsharePredictor,
+    GskewPredictor,
+    HybridPredictor,
+    IttageLitePredictor,
+    LTagePredictor,
+    LastTargetPredictor,
+    PAsPredictor,
+    PerceptronPredictor,
+    PerfectPredictor,
+    TagePredictor,
+    TournamentPredictor,
+)
+
+__all__ = [
+    "AgreePredictor",
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BiModePredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "CacheConfig",
+    "CacheHierarchy",
+    "GAsPredictor",
+    "GsharePredictor",
+    "GskewPredictor",
+    "HybridPredictor",
+    "IttageLitePredictor",
+    "LTagePredictor",
+    "LastTargetPredictor",
+    "PAsPredictor",
+    "PerceptronPredictor",
+    "PerfectPredictor",
+    "SetAssociativeCache",
+    "SkewedAssociativeCache",
+    "TagePredictor",
+    "TournamentPredictor",
+]

@@ -1,0 +1,97 @@
+"""Branch target buffer.
+
+"A branch target buffer (BTB) ... would use lower-order bits of the
+branch address to index a table of branch targets" (§4.1).  We model a
+tagged set-associative BTB that misses when a *taken* branch's entry has
+been evicted — another address-hashed structure whose conflicts move
+with code layout.  The reference machine charges a small refetch penalty
+per BTB miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BranchTargetBuffer:
+    """Set-associative, LRU, tag-matched BTB counting taken-branch misses."""
+
+    def __init__(self, entries: int = 2048, associativity: int = 4, name: str = "btb") -> None:
+        if entries <= 0 or (entries & (entries - 1)) != 0:
+            raise ConfigurationError(f"BTB entries must be a power of two, got {entries}")
+        if associativity <= 0 or entries % associativity != 0:
+            raise ConfigurationError(
+                f"BTB associativity {associativity} must divide entries {entries}"
+            )
+        self.entries = entries
+        self.associativity = associativity
+        self.n_sets = entries // associativity
+        self.name = name
+        self._sets: list[list[int]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Empty the buffer."""
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def lookup_and_update(self, pc: int, taken: int) -> bool:
+        """Access the BTB for the branch at *pc*.
+
+        Returns True on a miss that matters (the branch was taken but
+        had no entry).  Taken branches allocate/refresh their entry;
+        not-taken branches never miss (fall-through needs no target).
+        """
+        idx = (pc >> 2) & (self.n_sets - 1)
+        tag = (pc >> 2) >> (self.n_sets.bit_length() - 1)
+        ways = self._sets[idx]
+        hit = tag in ways
+        if taken:
+            if hit:
+                if ways[0] != tag:
+                    ways.remove(tag)
+                    ways.insert(0, tag)
+                return False
+            ways.insert(0, tag)
+            if len(ways) > self.associativity:
+                ways.pop()
+            return True
+        return False
+
+    def simulate(self, addresses: np.ndarray, outcomes: np.ndarray, warmup: int = 0) -> int:
+        """Reset and stream the branch trace; return taken-branch misses.
+
+        Misses are counted only for events with index >= *warmup*; the
+        warm-up region still trains the buffer.
+        """
+        self.reset()
+        if warmup > 0:
+            self._stream(addresses[:warmup], outcomes[:warmup], count=False)
+            return self._stream(addresses[warmup:], outcomes[warmup:], count=True)
+        return self._stream(addresses, outcomes, count=True)
+
+    def _stream(self, addresses: np.ndarray, outcomes: np.ndarray, count: bool) -> int:
+        set_mask = self.n_sets - 1
+        tag_shift = self.n_sets.bit_length() - 1
+        assoc = self.associativity
+        sets = self._sets
+        misses = 0
+        pcs = (addresses >> 2).tolist()
+        outs = outcomes.tolist()
+        for pc, taken in zip(pcs, outs):
+            if not taken:
+                continue
+            ways = sets[pc & set_mask]
+            tag = pc >> tag_shift
+            if tag in ways:
+                if ways[0] != tag:
+                    ways.remove(tag)
+                    ways.insert(0, tag)
+            else:
+                if count:
+                    misses += 1
+                ways.insert(0, tag)
+                if len(ways) > assoc:
+                    ways.pop()
+        return misses

@@ -1,0 +1,91 @@
+"""Branch predictor interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def require_power_of_two(value: int, what: str) -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{what} must be a positive power of two, got {value}")
+    return value
+
+
+class BranchPredictor(ABC):
+    """A conditional branch direction predictor.
+
+    Predictors are stateful; :meth:`reset` restores the power-on state so
+    one instance can be reused across runs ("we control the initial
+    conditions of the simulator", §7.2).  The scalar
+    :meth:`predict_and_update` interface exists for clarity and testing;
+    bulk simulation goes through :meth:`simulate`, which concrete classes
+    override with optimized loops.
+    """
+
+    #: Human-readable predictor name (e.g. ``"GAs-8KB"``).
+    name: str = "predictor"
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the power-on state."""
+
+    @abstractmethod
+    def predict_and_update(self, pc: int, outcome: int) -> bool:
+        """Predict the branch at *pc*, then train with *outcome*.
+
+        Returns True when the prediction was correct.
+        """
+
+    def storage_bits(self) -> int:
+        """Approximate hardware budget of the prediction tables, in bits."""
+        return 0
+
+    def simulate(self, addresses: np.ndarray, outcomes: np.ndarray, warmup: int = 0) -> int:
+        """Run the predictor over a bound trace; return mispredictions.
+
+        The predictor is reset, then the whole trace is executed; only
+        mispredictions of events with index >= *warmup* are counted.
+        The warm-up window plays the role SimPoint warming plays in the
+        paper's simulations: our canonical traces are short slices, so
+        counting cold-start transients would distort event rates.
+        """
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self.reset()
+        if warmup > 0:
+            self._run(addresses[:warmup], outcomes[:warmup])
+            return self._run(addresses[warmup:], outcomes[warmup:])
+        return self._run(addresses, outcomes)
+
+    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
+        """Execute a trace slice *without* resetting; return mispredictions.
+
+        The default implementation calls :meth:`predict_and_update` per
+        event; subclasses override with fused loops for speed.
+        """
+        mispredicts = 0
+        predict = self.predict_and_update
+        for pc, outcome in zip(addresses.tolist(), outcomes.tolist()):
+            if not predict(pc, outcome):
+                mispredicts += 1
+        return mispredicts
+
+    def mpki(
+        self,
+        addresses: np.ndarray,
+        outcomes: np.ndarray,
+        instructions: int,
+        warmup: int = 0,
+    ) -> float:
+        """Convenience: mispredictions per 1000 instructions."""
+        if instructions <= 0:
+            raise ConfigurationError(f"instructions must be positive, got {instructions}")
+        return self.simulate(addresses, outcomes, warmup=warmup) / instructions * 1000.0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,114 @@
+"""Bi-Mode predictor (Lee, Chen & Mudge, MICRO 1997).
+
+Another anti-aliasing design: two gshare-indexed direction PHTs (a
+"taken" bank and a "not-taken" bank) are selected per branch by a
+pc-indexed choice PHT.  Mostly-taken branches train the taken bank and
+mostly-not-taken branches the other, so destructive aliasing between
+opposite-bias branches — the dominant interferometry signal — is
+largely removed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
+
+
+class BiModePredictor(BranchPredictor):
+    """Choice PHT + dual direction PHTs with gshare indexing."""
+
+    def __init__(
+        self,
+        entries: int = 4096,
+        history_bits: int = 8,
+        choice_entries: int = 2048,
+        name: str | None = None,
+    ) -> None:
+        self.entries = require_power_of_two(entries, "bi-mode direction entries")
+        self.choice_entries = require_power_of_two(choice_entries, "bi-mode choice entries")
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+        self.history_bits = history_bits
+        self.name = name if name is not None else f"bimode-{entries}x{history_bits}"
+        self._taken: list[int] = []
+        self._not_taken: list[int] = []
+        self._choice: list[int] = []
+        self._history = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self._taken = [2] * self.entries
+        self._not_taken = [1] * self.entries
+        self._choice = [2] * self.choice_entries
+        self._history = 0
+
+    def storage_bits(self) -> int:
+        return 2 * (2 * self.entries) + 2 * self.choice_entries + self.history_bits
+
+    def predict_and_update(self, pc: int, outcome: int) -> bool:
+        choice_idx = (pc >> 2) & (self.choice_entries - 1)
+        direction_idx = ((pc >> 2) ^ self._history) & (self.entries - 1)
+        use_taken_bank = self._choice[choice_idx] >= 2
+        bank = self._taken if use_taken_bank else self._not_taken
+        counter = bank[direction_idx]
+        prediction = 1 if counter >= 2 else 0
+
+        # Update the chosen bank always.
+        if outcome:
+            if counter < 3:
+                bank[direction_idx] = counter + 1
+        elif counter > 0:
+            bank[direction_idx] = counter - 1
+        # Update the choice PHT unless it was overridden *and* correct
+        # (the standard partial-update rule).
+        chosen_agrees = (1 if use_taken_bank else 0) == outcome
+        if not (prediction == outcome and not chosen_agrees):
+            choice = self._choice[choice_idx]
+            if outcome:
+                if choice < 3:
+                    self._choice[choice_idx] = choice + 1
+            elif choice > 0:
+                self._choice[choice_idx] = choice - 1
+        self._history = ((self._history << 1) | outcome) & (
+            (1 << self.history_bits) - 1
+        )
+        return prediction == outcome
+
+    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
+        taken_bank = self._taken
+        not_taken_bank = self._not_taken
+        choice_table = self._choice
+        dir_mask = self.entries - 1
+        choice_mask = self.choice_entries - 1
+        hist_mask = (1 << self.history_bits) - 1
+        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
+        outs = outcomes.tolist()
+        history = self._history
+        mispredicts = 0
+        for pc, outcome in zip(pcs, outs):
+            choice_idx = pc & choice_mask
+            direction_idx = (pc ^ history) & dir_mask
+            use_taken = choice_table[choice_idx] >= 2
+            bank = taken_bank if use_taken else not_taken_bank
+            counter = bank[direction_idx]
+            prediction = counter >= 2
+            taken = outcome == 1
+            if prediction != taken:
+                mispredicts += 1
+            if taken:
+                if counter < 3:
+                    bank[direction_idx] = counter + 1
+            elif counter > 0:
+                bank[direction_idx] = counter - 1
+            chosen_agrees = use_taken == taken
+            if not (prediction == taken and not chosen_agrees):
+                choice = choice_table[choice_idx]
+                if taken:
+                    if choice < 3:
+                        choice_table[choice_idx] = choice + 1
+                elif choice > 0:
+                    choice_table[choice_idx] = choice - 1
+            history = ((history << 1) | outcome) & hist_mask
+        self._history = history
+        return mispredicts

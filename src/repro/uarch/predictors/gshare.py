@@ -1,0 +1,70 @@
+"""Gshare predictor (McFarling): global history XOR branch address.
+
+The XOR hash spreads each static branch across up to ``2^history_bits``
+pattern-history-table entries, so layout-induced address changes
+re-randomize which branches collide — the dominant source of the MPKI
+variance program interferometry exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
+
+
+class GsharePredictor(BranchPredictor):
+    """2-bit PHT indexed by ``((pc >> 2) ^ history) & (entries - 1)``."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12, name: str | None = None) -> None:
+        self.entries = require_power_of_two(entries, "gshare entries")
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+        self.history_bits = history_bits
+        self.name = name if name is not None else f"gshare-{entries}x{history_bits}"
+        self._table: list[int] = []
+        self._history = 0
+        self.reset()
+
+    def reset(self) -> None:
+        self._table = [2] * self.entries
+        self._history = 0
+
+    def storage_bits(self) -> int:
+        return 2 * self.entries + self.history_bits
+
+    def predict_and_update(self, pc: int, outcome: int) -> bool:
+        idx = ((pc >> 2) ^ self._history) & (self.entries - 1)
+        counter = self._table[idx]
+        prediction = 1 if counter >= 2 else 0
+        if outcome:
+            if counter < 3:
+                self._table[idx] = counter + 1
+        elif counter > 0:
+            self._table[idx] = counter - 1
+        self._history = ((self._history << 1) | outcome) & ((1 << self.history_bits) - 1)
+        return prediction == outcome
+
+    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
+        table = self._table
+        mask = self.entries - 1
+        hist_mask = (1 << self.history_bits) - 1
+        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
+        outs = outcomes.tolist()
+        history = self._history
+        mispredicts = 0
+        for pc, outcome in zip(pcs, outs):
+            idx = (pc ^ history) & mask
+            counter = table[idx]
+            if (counter >= 2) != (outcome == 1):
+                mispredicts += 1
+            if outcome:
+                if counter < 3:
+                    table[idx] = counter + 1
+                history = ((history << 1) | 1) & hist_mask
+            else:
+                if counter > 0:
+                    table[idx] = counter - 1
+                history = (history << 1) & hist_mask
+        self._history = history
+        return mispredicts

@@ -1,0 +1,142 @@
+"""Indirect-branch target predictors (§4.1).
+
+"A branch target buffer (BTB) or indirect branch predictor would use
+lower-order bits of the branch address to index a table of branch
+targets" — making indirect-target prediction another address-hashed,
+layout-sensitive structure.  Two designs are provided:
+
+* :class:`LastTargetPredictor` — the classic BTB policy: predict the
+  target seen last time at this (hashed) pc.  What Core-era hardware
+  shipped.
+* :class:`IttageLitePredictor` — a small history-indexed design in the
+  spirit of ITTAGE: the table index mixes the pc with a hash of recent
+  *targets*, capturing dispatch-site patterns the last-target policy
+  misses.
+
+Both consume the trace's ``targets`` array (id -1 marks ordinary
+conditional branches, which are skipped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.program.behavior import update_target_history
+from repro.uarch.predictors.base import require_power_of_two
+
+
+class LastTargetPredictor:
+    """Predict the previously observed target at the hashed pc."""
+
+    def __init__(self, entries: int = 512, name: str | None = None) -> None:
+        self.entries = require_power_of_two(entries, "target-table entries")
+        self.name = name if name is not None else f"last-target-{entries}"
+        self._table: list[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Empty the target table."""
+        self._table = [-1] * self.entries
+
+    def predict_and_update(self, pc: int, target: int) -> bool:
+        """Predict/update for one indirect branch; True when correct."""
+        idx = (pc >> 2) & (self.entries - 1)
+        predicted = self._table[idx]
+        self._table[idx] = target
+        return predicted == target
+
+    def simulate(
+        self, addresses: np.ndarray, targets: np.ndarray, warmup: int = 0
+    ) -> int:
+        """Count target mispredictions over a bound trace.
+
+        Events with ``target < 0`` (conditional branches) are skipped;
+        events before *warmup* train but are not counted.
+        """
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self.reset()
+        table = self._table
+        mask = self.entries - 1
+        pcs = (addresses >> 2).tolist()
+        tgts = targets.tolist()
+        mispredicts = 0
+        for i, (pc, target) in enumerate(zip(pcs, tgts)):
+            if target < 0:
+                continue
+            idx = pc & mask
+            if table[idx] != target and i >= warmup:
+                mispredicts += 1
+            table[idx] = target
+        return mispredicts
+
+
+class IttageLitePredictor:
+    """Target table indexed by (pc XOR hash of recent targets).
+
+    A two-component simplification of ITTAGE: a history-indexed table
+    backed by a last-target base table; the history component wins when
+    it has seen this (pc, history) pair before.
+    """
+
+    def __init__(
+        self, entries: int = 1024, base_entries: int = 512, name: str | None = None
+    ) -> None:
+        self.entries = require_power_of_two(entries, "ittage history entries")
+        self.base_entries = require_power_of_two(base_entries, "ittage base entries")
+        self.name = name if name is not None else f"ittage-lite-{entries}"
+        self._history_table: list[int] = []
+        self._base_table: list[int] = []
+        self._target_history = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Empty both tables and the target history."""
+        self._history_table = [-1] * self.entries
+        self._base_table = [-1] * self.base_entries
+        self._target_history = 0
+
+    def predict_and_update(self, pc: int, target: int) -> bool:
+        """Predict/update for one indirect branch; True when correct."""
+        pc2 = pc >> 2
+        hist_idx = (pc2 ^ self._target_history) & (self.entries - 1)
+        base_idx = pc2 & (self.base_entries - 1)
+        predicted = self._history_table[hist_idx]
+        if predicted < 0:
+            predicted = self._base_table[base_idx]
+        correct = predicted == target
+        self._history_table[hist_idx] = target
+        self._base_table[base_idx] = target
+        self._target_history = update_target_history(self._target_history, target)
+        return correct
+
+    def simulate(
+        self, addresses: np.ndarray, targets: np.ndarray, warmup: int = 0
+    ) -> int:
+        """Count target mispredictions over a bound trace."""
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        self.reset()
+        history_table = self._history_table
+        base_table = self._base_table
+        hist_mask = self.entries - 1
+        base_mask = self.base_entries - 1
+        pcs = (addresses >> 2).tolist()
+        tgts = targets.tolist()
+        target_history = 0
+        mispredicts = 0
+        for i, (pc, target) in enumerate(zip(pcs, tgts)):
+            if target < 0:
+                continue
+            hist_idx = (pc ^ target_history) & hist_mask
+            predicted = history_table[hist_idx]
+            if predicted < 0:
+                predicted = base_table[pc & base_mask]
+            if predicted != target and i >= warmup:
+                mispredicts += 1
+            history_table[hist_idx] = target
+            base_table[pc & base_mask] = target
+            target_history = update_target_history(target_history, target)
+        self._target_history = target_history
+        return mispredicts

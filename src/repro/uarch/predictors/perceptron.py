@@ -1,0 +1,65 @@
+"""Perceptron predictor (Jiménez & Lin, HPCA 2001).
+
+Included as an extension beyond the paper's predictor set: a
+neural-inspired predictor whose weights table is indexed by branch
+address, making it — like every other table here — sensitive to code
+layout.  Useful for exercising the evaluator on a predictor family with
+very different aliasing behaviour from 2-bit counter tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron with the standard training threshold."""
+
+    def __init__(
+        self,
+        entries: int = 512,
+        history_bits: int = 16,
+        name: str | None = None,
+    ) -> None:
+        self.entries = require_power_of_two(entries, "perceptron entries")
+        if not 1 <= history_bits <= 32:
+            raise ValueError(f"history_bits must be in [1, 32], got {history_bits}")
+        self.history_bits = history_bits
+        # Jiménez & Lin's empirically optimal threshold.
+        self.threshold = int(1.93 * history_bits + 14)
+        self.weight_limit = 127
+        self.name = name if name is not None else f"perceptron-{entries}x{history_bits}"
+        self._weights: list[list[int]] = []
+        self._history: list[int] = []
+        self.reset()
+
+    def reset(self) -> None:
+        self._weights = [[0] * (self.history_bits + 1) for _ in range(self.entries)]
+        # Bipolar history: +1 taken, -1 not taken.
+        self._history = [1] * self.history_bits
+
+    def storage_bits(self) -> int:
+        return 8 * (self.history_bits + 1) * self.entries
+
+    def predict_and_update(self, pc: int, outcome: int) -> bool:
+        idx = (pc >> 2) & (self.entries - 1)
+        weights = self._weights[idx]
+        history = self._history
+        total = weights[0]
+        for i in range(self.history_bits):
+            total += weights[i + 1] * history[i]
+        prediction = 1 if total >= 0 else 0
+        target = 1 if outcome else -1
+        if prediction != outcome or abs(total) <= self.threshold:
+            limit = self.weight_limit
+            w = weights[0] + target
+            weights[0] = max(-limit, min(limit, w))
+            for i in range(self.history_bits):
+                w = weights[i + 1] + target * history[i]
+                weights[i + 1] = max(-limit, min(limit, w))
+        history.pop()
+        history.insert(0, target)
+        return prediction == outcome
+

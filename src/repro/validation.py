@@ -1,0 +1,162 @@
+"""Installation self-check: fast invariant verification.
+
+``repro-interferometry --selftest`` (or :func:`run_selftest`) runs a
+battery of quick checks covering the invariants the whole reproduction
+rests on.  Each check is independent and reports pass/fail with a
+detail string; the battery is designed to finish in a few seconds so it
+can gate CI or a fresh install.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One self-check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_trace_determinism() -> str:
+    from repro.workloads.suite import get_benchmark
+    from repro.program.tracegen import generate_trace
+
+    benchmark = get_benchmark("456.hmmer")
+    a = generate_trace(benchmark.spec, benchmark.trace_seed, 1500)
+    b = generate_trace(benchmark.spec, benchmark.trace_seed, 1500)
+    assert (a.outcomes == b.outcomes).all(), "trace outcomes not deterministic"
+    return f"{a.n_events} events reproduced bit-identically"
+
+
+def _check_layout_invariance() -> str:
+    from repro.toolchain.camino import Camino
+    from repro.workloads.suite import get_benchmark
+
+    benchmark = get_benchmark("456.hmmer")
+    trace = benchmark.trace(1500)
+    camino = Camino()
+    instrs = {
+        camino.build(benchmark.spec, trace, layout_seed=seed).n_instructions
+        for seed in range(4)
+    }
+    assert len(instrs) == 1, f"instruction counts differ across layouts: {instrs}"
+    return f"4 layouts all retire {instrs.pop()} instructions"
+
+
+def _check_predictor_ordering() -> str:
+    from repro.toolchain.camino import Camino
+    from repro.uarch.predictors.hybrid import HybridPredictor
+    from repro.uarch.predictors.perfect import PerfectPredictor
+    from repro.uarch.predictors.static import AlwaysTakenPredictor
+    from repro.workloads.suite import get_benchmark
+
+    benchmark = get_benchmark("445.gobmk")
+    trace = benchmark.trace(2000)
+    exe = Camino().build(benchmark.spec, trace, layout_seed=0)
+    addresses = exe.branch_address_stream()
+    outcomes = exe.trace.outcomes
+    perfect = PerfectPredictor().simulate(addresses, outcomes)
+    hybrid = HybridPredictor(2048, 4096, 8, 2048).simulate(addresses, outcomes)
+    static = AlwaysTakenPredictor().simulate(addresses, outcomes)
+    assert perfect == 0, "perfect predictor mispredicted"
+    assert perfect < hybrid < static, (
+        f"ordering violated: perfect={perfect}, hybrid={hybrid}, static={static}"
+    )
+    return f"perfect 0 < hybrid {hybrid} < static {static} mispredictions"
+
+
+def _check_regression_against_scipy() -> str:
+    from scipy import stats as scipy_stats
+
+    from repro.stats.hypothesis_tests import t_test_correlation
+    from repro.stats.regression import fit_simple
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 10, 50)
+    y = 2.0 * x + 1.0 + rng.normal(0, 0.5, 50)
+    ours = fit_simple(x, y)
+    theirs = scipy_stats.linregress(x, y)
+    assert abs(ours.slope - theirs.slope) < 1e-9, "slope mismatch vs scipy"
+    assert abs(ours.intercept - theirs.intercept) < 1e-9, "intercept mismatch"
+    p_ours = t_test_correlation(x, y).p_value
+    assert abs(p_ours - theirs.pvalue) < 1e-9, "p-value mismatch vs scipy"
+    return f"slope/intercept/p agree with scipy to 1e-9"
+
+
+def _check_measurement_protocol() -> str:
+    from repro.machine.pmc import measure_executable
+    from repro.machine.system import XeonE5440
+    from repro.toolchain.camino import Camino
+    from repro.workloads.suite import get_benchmark
+
+    benchmark = get_benchmark("456.hmmer")
+    trace = benchmark.trace(1500)
+    machine = XeonE5440(seed=1)
+    exe = Camino().build(benchmark.spec, trace, layout_seed=0)
+    a = measure_executable(machine, exe)
+    b = measure_executable(machine, exe)
+    assert dict(a.counters) == dict(b.counters), "measurement not reproducible"
+    assert a.cpi > 0 and a.mpki >= 0, "nonsensical derived metrics"
+    return f"median-of-5 protocol reproducible (CPI {a.cpi:.3f})"
+
+
+def _check_interferometry_signal() -> str:
+    from repro.core.interferometer import Interferometer
+    from repro.core.model import PerformanceModel
+    from repro.machine.system import XeonE5440
+    from repro.workloads.suite import get_benchmark
+
+    machine = XeonE5440(seed=1)
+    interferometer = Interferometer(machine, trace_events=4000)
+    observations = interferometer.observe(get_benchmark("445.gobmk"), n_layouts=8)
+    model = PerformanceModel.from_observations(observations)
+    assert model.slope > 0, f"negative misprediction cost: {model.slope}"
+    assert model.is_significant(), "no significant CPI/MPKI correlation"
+    return (
+        f"gobmk: slope {model.slope:.4f}, r {model.r:.2f}, "
+        f"p {model.significance().p_value:.1e}"
+    )
+
+
+#: The battery, in dependency-ish order.
+CHECKS: dict[str, Callable[[], str]] = {
+    "trace-determinism": _check_trace_determinism,
+    "layout-invariance": _check_layout_invariance,
+    "predictor-ordering": _check_predictor_ordering,
+    "stats-vs-scipy": _check_regression_against_scipy,
+    "measurement-protocol": _check_measurement_protocol,
+    "interferometry-signal": _check_interferometry_signal,
+}
+
+
+def run_selftest() -> list[CheckResult]:
+    """Run every check; never raises — failures are reported as results."""
+    results = []
+    for name, check in CHECKS.items():
+        try:
+            detail = check()
+            results.append(CheckResult(name=name, passed=True, detail=detail))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            results.append(CheckResult(name=name, passed=False, detail=str(exc)))
+    return results
+
+
+def render_selftest(results: list[CheckResult]) -> str:
+    """Human-readable report."""
+    lines = ["self-test:"]
+    for result in results:
+        mark = "ok  " if result.passed else "FAIL"
+        lines.append(f"  [{mark}] {result.name}: {result.detail}")
+    n_failed = sum(1 for r in results if not r.passed)
+    lines.append(
+        f"{len(results) - n_failed}/{len(results)} checks passed"
+        + ("" if n_failed == 0 else " — INSTALLATION BROKEN")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The synthetic SPEC CPU 2006 suite.
+
+Twenty-three benchmarks — the subset that compiled under the paper's
+Camino infrastructure (§5.2) — each described by a
+:class:`~repro.workloads.params.BenchmarkPersonality` that controls its
+code size, branch behaviour mix, heap footprint, and intrinsic timing
+characteristics, calibrated so that the suite's operating points (CPI
+levels, MPKI levels, which benchmarks are layout-sensitive) land in the
+paper's reported ranges.
+"""
+
+from repro.workloads.params import (
+    MASE_BENCHMARKS,
+    MASE_EXTRA,
+    PERSONALITIES,
+    BenchmarkPersonality,
+)
+from repro.workloads.suite import Benchmark, get_benchmark, mase_suite, spec2006
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkPersonality",
+    "MASE_BENCHMARKS",
+    "MASE_EXTRA",
+    "PERSONALITIES",
+    "get_benchmark",
+    "mase_suite",
+    "spec2006",
+]

@@ -1,0 +1,92 @@
+"""Suite description tool: what each synthetic benchmark looks like.
+
+Run::
+
+    python -m repro.workloads.describe            # whole suite
+    python -m repro.workloads.describe 429.mcf    # one benchmark, verbose
+
+Prints each personality's static shape and its canonical trace's
+measured profile (branch density, taken rate, hot-site concentration,
+working-set sizes) — the quantities METHODOLOGY.md's calibration rules
+talk about.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.report import format_table
+from repro.program.analysis import profile_trace, render_profile
+from repro.workloads.suite import get_benchmark, spec2006
+
+#: Trace length used for profiling (kept small; profiles are stable).
+PROFILE_EVENTS = 6000
+
+
+def describe_suite() -> str:
+    """One table row per benchmark."""
+    rows = []
+    for name, benchmark in spec2006().items():
+        personality = benchmark.personality
+        profile = profile_trace(benchmark.spec, benchmark.trace(PROFILE_EVENTS))
+        rows.append(
+            (
+                name,
+                personality.language,
+                len(benchmark.spec.procedures),
+                benchmark.spec.n_sites,
+                round(profile.branch_density_per_kinstr),
+                round(profile.taken_fraction * 100),
+                round(profile.code_working_set_bytes / 1024, 1),
+                round(profile.data_working_set_bytes / 1024, 1),
+                "yes" if personality.expected_significant else "no",
+            )
+        )
+    return format_table(
+        headers=["benchmark", "lang", "procs", "sites", "br/ki", "%taken",
+                 "code KiB", "data KiB", "sig?"],
+        rows=rows,
+        title="Synthetic SPEC CPU 2006 suite",
+    )
+
+
+def describe_benchmark(name: str) -> str:
+    """Verbose description of one benchmark."""
+    benchmark = get_benchmark(name)
+    personality = benchmark.personality
+    profile = profile_trace(benchmark.spec, benchmark.trace(PROFILE_EVENTS))
+    mix = ", ".join(
+        f"{kind}={weight:.1f}" for kind, weight in sorted(personality.mix.items())
+    )
+    lines = [
+        f"{name} ({personality.language}) — {personality.notes or 'no notes'}",
+        f"  files: {personality.n_files}, procedures: {personality.n_procedures}, "
+        f"sites/proc: {personality.sites_per_proc}",
+        f"  behaviour mix (post-calibration): {mix}",
+        f"  heap: {personality.n_heap_objects} objects of "
+        f"{personality.heap_object_bytes} bytes, "
+        f"{personality.data_refs_per_site} refs/site, "
+        f"windows {personality.dref_span_bytes}",
+        f"  timing: intrinsic CPI {personality.intrinsic_cpi}, "
+        f"mispredict exposure {personality.mispredict_exposure}, "
+        f"wrong-path coupling {personality.wrongpath_coupling}",
+        "",
+        render_profile(profile),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        for name in args:
+            print(describe_benchmark(name))
+            print()
+    else:
+        print(describe_suite())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

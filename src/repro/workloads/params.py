@@ -1,0 +1,400 @@
+"""Per-benchmark personalities.
+
+Each personality encodes what, on real hardware, would be a property of
+the benchmark's computation: how many compilation units and procedures
+it has, what its branches look like (heavily biased? loop exits?
+history-correlated? data-dependent coin flips?), how it uses the heap,
+and its intrinsic (front-end-independent) CPI.
+
+Calibration notes
+-----------------
+* ``mix`` weights select behaviour kinds for static branch sites; the
+  ``hard`` fraction dominates the benchmark's MPKI level, while
+  ``easy``/``correlated`` fractions control how much *aliasing* in the
+  predictor tables can move MPKI — i.e. the benchmark's
+  layout-sensitivity (Fig. 1 spread, §4.6 significance).
+* Three benchmarks (410.bwaves, 433.milc, 470.lbm) are deliberately
+  branch-insensitive — long vectorizable loops, almost no hard
+  branches — reproducing the "3 of 23" that fail the t-test (§4.6).
+* ``intrinsic_cpi`` plus the cache behaviour implied by the heap
+  parameters place each benchmark's CPI near its Table 1 intercept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import WorkloadError
+
+#: Behaviour-kind names accepted in personality mixes.
+BEHAVIOR_KINDS = (
+    "very_easy",
+    "easy",
+    "biased",
+    "hard",
+    "loop_short",
+    "loop_long",
+    "pattern",
+    "correlated",
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkPersonality:
+    """Everything needed to generate one synthetic benchmark."""
+
+    name: str
+    language: str
+    n_files: int
+    n_procedures: int
+    sites_per_proc: tuple[int, int]
+    instr_gap: tuple[int, int]
+    mix: Mapping[str, float]
+    proc_weight_skew: float = 0.8
+    n_heap_objects: int = 48
+    heap_object_bytes: tuple[int, int] = (2048, 65536)
+    data_refs_per_site: float = 0.5
+    dref_random_fraction: float = 0.3
+    dref_span_bytes: tuple[int, int] = (256, 4096)
+    #: Fraction of stride references using large power-of-two strides
+    #: (matrix column walks).  Such walks revisit one cache set per
+    #: object, so heap placement decides which sets conflict — the L1D
+    #: sensitivity mechanism of the Figure 3 study.
+    dref_big_stride_fraction: float = 0.0
+    intrinsic_cpi: float = 0.35
+    mispredict_exposure: float = 1.0
+    #: Strength of the second-order misprediction/memory interaction in
+    #: cycle-level simulation (§3.1): wrong-path execution perturbing the
+    #: caches makes CPI mildly *non-linear* in MPKI.  High values mark
+    #: the paper's non-linear outliers (252.eon, 178.galgel).
+    wrongpath_coupling: float = 0.05
+    expected_significant: bool = True
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1 or self.n_procedures < self.n_files:
+            raise WorkloadError(
+                f"{self.name}: need at least one procedure per file "
+                f"({self.n_procedures} procs, {self.n_files} files)"
+            )
+        lo, hi = self.sites_per_proc
+        if not 1 <= lo <= hi:
+            raise WorkloadError(f"{self.name}: bad sites_per_proc {self.sites_per_proc}")
+        lo, hi = self.instr_gap
+        if not 1 <= lo <= hi:
+            raise WorkloadError(f"{self.name}: bad instr_gap {self.instr_gap}")
+        if not self.mix:
+            raise WorkloadError(f"{self.name}: empty behaviour mix")
+        unknown = set(self.mix) - set(BEHAVIOR_KINDS)
+        if unknown:
+            raise WorkloadError(f"{self.name}: unknown behaviour kinds {sorted(unknown)}")
+        if any(w < 0 for w in self.mix.values()) or sum(self.mix.values()) <= 0:
+            raise WorkloadError(f"{self.name}: mix weights must be non-negative, sum > 0")
+        if self.n_heap_objects < 1:
+            raise WorkloadError(f"{self.name}: need at least one heap object")
+        lo, hi = self.heap_object_bytes
+        if not 64 <= lo <= hi:
+            raise WorkloadError(f"{self.name}: bad heap_object_bytes {self.heap_object_bytes}")
+        lo, hi = self.dref_span_bytes
+        if not 64 <= lo <= hi:
+            raise WorkloadError(f"{self.name}: bad dref_span_bytes {self.dref_span_bytes}")
+
+
+#: Level calibration applied to every authored mix: scales the costly
+#: behaviour kinds down so suite MPKI levels land near the paper's
+#: (mean ~6 MPKI for the real predictor), while preserving each
+#: benchmark's authored difficulty *ordering*.  The removed weight goes
+#: to very_easy.
+_MIX_LEVEL_SCALE = {
+    "hard": 0.35,
+    "correlated": 0.30,
+    "pattern": 0.45,
+    "loop_short": 0.60,
+    "biased": 0.70,
+}
+
+
+def _calibrate_mix(mix: Mapping[str, float]) -> dict[str, float]:
+    adjusted = dict(mix)
+    removed = 0.0
+    for kind, scale in _MIX_LEVEL_SCALE.items():
+        if kind in adjusted:
+            removed += adjusted[kind] * (1.0 - scale)
+            adjusted[kind] = adjusted[kind] * scale
+    adjusted["very_easy"] = adjusted.get("very_easy", 0.0) + removed
+    return adjusted
+
+
+def _p(  # noqa: PLR0913 - a table row, not an API
+    name: str,
+    language: str,
+    files: int,
+    procs: int,
+    sites: tuple[int, int],
+    gap: tuple[int, int],
+    mix: Mapping[str, float],
+    cpi: float,
+    exposure: float = 1.0,
+    heap_objects: int = 48,
+    heap_bytes: tuple[int, int] = (2048, 65536),
+    drefs: float = 0.5,
+    dref_random: float = 0.3,
+    span: tuple[int, int] = (256, 4096),
+    big_stride: float = 0.0,
+    skew: float = 0.8,
+    significant: bool = True,
+    coupling: float = 0.05,
+    notes: str = "",
+) -> BenchmarkPersonality:
+    return BenchmarkPersonality(
+        name=name,
+        language=language,
+        n_files=files,
+        n_procedures=procs,
+        sites_per_proc=sites,
+        instr_gap=gap,
+        mix=_calibrate_mix(mix),
+        proc_weight_skew=skew,
+        n_heap_objects=heap_objects,
+        heap_object_bytes=heap_bytes,
+        data_refs_per_site=drefs,
+        dref_random_fraction=dref_random,
+        dref_span_bytes=span,
+        dref_big_stride_fraction=big_stride,
+        intrinsic_cpi=cpi,
+        mispredict_exposure=exposure,
+        wrongpath_coupling=coupling,
+        expected_significant=significant,
+        notes=notes,
+    )
+
+
+#: The 23 benchmarks, keyed by SPEC name, in suite order.
+PERSONALITIES: dict[str, BenchmarkPersonality] = {
+    p.name: p
+    for p in (
+        _p(
+            "400.perlbench", "C", 12, 96, (4, 9), (4, 8),
+            {"very_easy": 30, "easy": 28, "biased": 14, "hard": 9,
+             "loop_short": 8, "pattern": 4, "correlated": 7},
+            cpi=0.12, exposure=1.05, heap_objects=80, heap_bytes=(1024, 32768),
+            drefs=0.45, notes="interpreter: many indirect-ish hard branches", span=(256, 2048),
+        ),
+        _p(
+            "401.bzip2", "C", 6, 40, (5, 10), (5, 9),
+            {"very_easy": 25, "easy": 30, "biased": 16, "hard": 8,
+             "loop_short": 10, "pattern": 5, "correlated": 6},
+            cpi=0.16, exposure=0.75, heap_objects=24, heap_bytes=(16384, 262144),
+            drefs=0.6, dref_random=0.45, coupling=0.04,
+            notes="compression: data-dependent bits", span=(512, 4096),
+        ),
+        _p(
+            "403.gcc", "C", 18, 140, (4, 8), (4, 7),
+            {"very_easy": 32, "easy": 26, "biased": 14, "hard": 7,
+             "loop_short": 7, "pattern": 5, "correlated": 9},
+            cpi=0.78, exposure=1.0, heap_objects=120, heap_bytes=(512, 16384),
+            drefs=0.55, dref_random=0.5, notes="huge code footprint; pointer chasing", span=(256, 2048),
+        ),
+        _p(
+            "410.bwaves", "Fortran", 5, 24, (3, 6), (10, 16),
+            {"very_easy": 58, "loop_long": 42},
+            cpi=0.76, exposure=0.2, heap_objects=16, heap_bytes=(65536, 262144),
+            drefs=0.8, dref_random=0.05, significant=False,
+            notes="FP stencil; essentially no hard branches (fails t-test)", span=(1024, 8192),
+        ),
+        _p(
+            "416.gamess", "Fortran", 14, 110, (4, 8), (6, 10),
+            {"very_easy": 38, "easy": 26, "biased": 12, "hard": 5,
+             "loop_short": 10, "loop_long": 4, "correlated": 5},
+            cpi=0.12, exposure=0.9, heap_objects=40, heap_bytes=(4096, 65536),
+            drefs=0.5, notes="quantum chemistry", span=(256, 4096),
+        ),
+        _p(
+            "429.mcf", "C", 3, 18, (4, 8), (5, 8),
+            {"very_easy": 22, "easy": 28, "biased": 18, "hard": 10,
+             "loop_short": 10, "correlated": 12},
+            cpi=2.39, exposure=0.9, heap_objects=48, heap_bytes=(32768, 262144),
+            drefs=0.7, dref_random=0.7, notes="memory bound: pointer-chasing network simplex", span=(2048, 16384),
+        ),
+        _p(
+            "433.milc", "C", 6, 30, (3, 6), (9, 14),
+            {"very_easy": 58, "loop_long": 42},
+            cpi=0.83, exposure=0.05, heap_objects=24, heap_bytes=(65536, 262144),
+            drefs=0.9, dref_random=0.1, significant=False,
+            notes="lattice QCD; regular loops (fails t-test)", span=(1024, 8192),
+        ),
+        _p(
+            "434.zeusmp", "Fortran", 8, 44, (3, 6), (8, 13),
+            {"very_easy": 46, "easy": 22, "loop_long": 22, "biased": 6, "hard": 2,
+             "correlated": 2},
+            cpi=0.16, exposure=1.1, heap_objects=28, heap_bytes=(32768, 262144),
+            drefs=0.9, dref_random=0.1,
+            notes="tiny MPKI range: regression slope poorly conditioned (paper: 0.373)", span=(1024, 8192),
+        ),
+        _p(
+            "435.gromacs", "C/Fortran", 10, 70, (4, 8), (7, 11),
+            {"very_easy": 40, "easy": 26, "biased": 10, "hard": 4,
+             "loop_short": 12, "loop_long": 4, "correlated": 4},
+            cpi=0.17, exposure=0.8, heap_objects=36, heap_bytes=(8192, 131072),
+            drefs=0.8, notes="molecular dynamics", span=(512, 4096),
+        ),
+        _p(
+            "444.namd", "C++", 8, 60, (4, 8), (7, 11),
+            {"very_easy": 42, "easy": 26, "biased": 10, "hard": 4,
+             "loop_short": 10, "loop_long": 4, "correlated": 4},
+            cpi=0.19, exposure=0.9, heap_objects=32, heap_bytes=(16384, 131072),
+            drefs=0.8, notes="molecular dynamics, C++", span=(512, 4096),
+        ),
+        _p(
+            "445.gobmk", "C", 12, 120, (4, 9), (4, 7),
+            {"very_easy": 24, "easy": 27, "biased": 16, "hard": 12,
+             "loop_short": 8, "pattern": 5, "correlated": 8},
+            cpi=0.12, exposure=0.95, heap_objects=56, heap_bytes=(1024, 32768),
+            drefs=0.4, notes="game tree search: notoriously hard branches", span=(256, 2048),
+        ),
+        _p(
+            "450.soplex", "C++", 9, 72, (4, 8), (5, 9),
+            {"very_easy": 30, "easy": 28, "biased": 14, "hard": 6,
+             "loop_short": 10, "loop_long": 4, "correlated": 8},
+            cpi=0.12, exposure=0.9, heap_objects=64, heap_bytes=(16384, 262144),
+            drefs=0.7, dref_random=0.55, notes="LP solver: sparse algebra", span=(1024, 8192),
+        ),
+        _p(
+            "454.calculix", "C/Fortran", 11, 84, (4, 8), (6, 10),
+            {"very_easy": 55, "easy": 15, "biased": 4, "hard": 1,
+             "loop_short": 12, "loop_long": 10, "correlated": 3},
+            cpi=0.12, exposure=0.85, heap_objects=40, heap_bytes=(4096, 16384),
+            drefs=0.9, dref_random=0.1, big_stride=0.75,
+            notes="Fig. 3 subject: cache-bound, branch-quiet, so heap "
+            "randomization dominates its CPI variance", span=(512, 4096),
+        ),
+        _p(
+            "456.hmmer", "C", 5, 32, (5, 10), (6, 10),
+            {"very_easy": 30, "easy": 30, "biased": 18, "hard": 6,
+             "loop_short": 12, "pattern": 4},
+            cpi=0.12, exposure=0.7, heap_objects=20, heap_bytes=(8192, 131072),
+            drefs=0.9, dref_random=0.2, coupling=0.22,
+            notes="HMM dynamic programming; 3rd-worst MASE linearity", span=(512, 4096),
+        ),
+        _p(
+            "459.GemsFDTD", "Fortran", 9, 52, (3, 6), (8, 13),
+            {"very_easy": 44, "easy": 24, "loop_long": 24, "biased": 5, "hard": 1,
+             "correlated": 2},
+            cpi=0.77, exposure=1.1, heap_objects=24, heap_bytes=(65536, 262144),
+            drefs=0.8, dref_random=0.1,
+            notes="tiny MPKI range: slope poorly conditioned (paper: 0.516)", span=(1024, 8192),
+        ),
+        _p(
+            "462.libquantum", "C", 4, 20, (4, 8), (5, 8),
+            {"very_easy": 26, "easy": 30, "biased": 18, "hard": 5,
+             "loop_short": 8, "correlated": 13},
+            cpi=0.45, exposure=1.2, heap_objects=12, heap_bytes=(65536, 262144),
+            drefs=0.8, dref_random=0.1,
+            notes="84% of CPI variance from branches in the paper (Fig. 6)", span=(2048, 16384),
+        ),
+        _p(
+            "464.h264ref", "C", 10, 88, (4, 9), (5, 8),
+            {"very_easy": 32, "easy": 28, "biased": 14, "hard": 6,
+             "loop_short": 10, "pattern": 5, "correlated": 5},
+            cpi=0.12, exposure=0.9, heap_objects=48, heap_bytes=(4096, 131072),
+            drefs=0.7, notes="video encoder", span=(512, 4096),
+        ),
+        _p(
+            "465.tonto", "Fortran", 13, 104, (4, 8), (6, 10),
+            {"very_easy": 38, "easy": 26, "biased": 12, "hard": 4,
+             "loop_short": 10, "loop_long": 4, "correlated": 6},
+            cpi=0.12, exposure=0.9, heap_objects=44, heap_bytes=(8192, 131072),
+            drefs=0.6, notes="quantum crystallography", span=(512, 4096),
+        ),
+        _p(
+            "470.lbm", "C", 3, 14, (3, 6), (10, 16),
+            {"very_easy": 52, "loop_long": 44, "easy": 4},
+            cpi=1.13, exposure=0.3, heap_objects=10, heap_bytes=(131072, 262144),
+            drefs=0.9, dref_random=0.05, significant=False,
+            notes="lattice Boltzmann; branch-free inner loops (fails t-test)", span=(1024, 8192),
+        ),
+        _p(
+            "471.omnetpp", "C++", 11, 92, (4, 8), (4, 7),
+            {"very_easy": 28, "easy": 28, "biased": 15, "hard": 8,
+             "loop_short": 8, "pattern": 4, "correlated": 9},
+            cpi=1.16, exposure=1.0, heap_objects=110, heap_bytes=(512, 16384),
+            drefs=0.5, dref_random=0.7, notes="discrete event simulation: virtual dispatch", span=(256, 2048),
+        ),
+        _p(
+            "473.astar", "C++", 5, 36, (4, 8), (5, 8),
+            {"very_easy": 26, "easy": 28, "biased": 16, "hard": 9,
+             "loop_short": 10, "correlated": 11},
+            cpi=0.54, exposure=0.9, heap_objects=72, heap_bytes=(16384, 262144),
+            drefs=0.7, dref_random=0.6, coupling=0.04,
+            notes="path finding: data-dependent comparisons", span=(1024, 8192),
+        ),
+        _p(
+            "482.sphinx3", "C", 8, 64, (4, 8), (6, 10),
+            {"very_easy": 34, "easy": 28, "biased": 13, "hard": 5,
+             "loop_short": 10, "loop_long": 4, "correlated": 6},
+            cpi=0.32, exposure=0.9, heap_objects=40, heap_bytes=(8192, 131072),
+            drefs=0.6, dref_random=0.3, notes="speech recognition", span=(512, 4096),
+        ),
+        _p(
+            "483.xalancbmk", "C++", 16, 128, (4, 8), (4, 7),
+            {"very_easy": 30, "easy": 28, "biased": 14, "hard": 6,
+             "loop_short": 8, "pattern": 4, "correlated": 10},
+            cpi=0.87, exposure=1.0, heap_objects=130, heap_bytes=(512, 16384),
+            drefs=0.5, dref_random=0.65, notes="XSLT: large code, virtual dispatch", span=(256, 2048),
+        ),
+    )
+}
+
+#: The benchmark the Figure 3 cache study uses.
+CACHE_STUDY_BENCHMARK = "454.calculix"
+
+#: The two benchmarks Figure 2 plots.
+FIGURE2_BENCHMARKS = ("400.perlbench", "471.omnetpp")
+
+
+#: Benchmarks that appear only in the MASE linearity study (§3): the
+#: SPEC CPU 2000 members 252.eon and 178.galgel, plus 458.sjeng, which
+#: did not compile under the paper's Camino infrastructure but runs
+#: under MASE.  Their wrong-path coupling values make them the study's
+#: non-linear outliers (Fig. 4/5).
+MASE_EXTRA: dict[str, BenchmarkPersonality] = {
+    p.name: p
+    for p in (
+        _p(
+            "252.eon", "C++", 7, 56, (4, 8), (5, 9),
+            {"very_easy": 34, "easy": 28, "biased": 13, "hard": 5,
+             "loop_short": 10, "pattern": 4, "correlated": 6},
+            cpi=0.45, exposure=0.9, heap_objects=36, heap_bytes=(4096, 65536),
+            drefs=0.6, coupling=0.60,
+            notes="probabilistic ray tracer: 2nd-worst MASE linearity (6.0%)",
+        ),
+        _p(
+            "178.galgel", "Fortran", 8, 48, (3, 7), (7, 12),
+            {"very_easy": 40, "easy": 24, "biased": 10, "hard": 4,
+             "loop_short": 10, "loop_long": 6, "correlated": 6},
+            cpi=0.60, exposure=0.9, heap_objects=28, heap_bytes=(16384, 131072),
+            drefs=0.8, dref_random=0.2, coupling=0.80,
+            notes="Galerkin FEM: worst MASE linearity (7.5%)",
+        ),
+        _p(
+            "458.sjeng", "C", 6, 52, (4, 9), (4, 8),
+            {"very_easy": 26, "easy": 28, "biased": 15, "hard": 10,
+             "loop_short": 8, "pattern": 5, "correlated": 8},
+            cpi=0.40, exposure=0.95, heap_objects=30, heap_bytes=(2048, 32768),
+            drefs=0.4, coupling=0.15,
+            notes="chess: 5th-worst MASE linearity (2.7%)",
+        ),
+    )
+}
+
+#: The benchmark set used by the MASE linearity study (Figs. 4-5).
+MASE_BENCHMARKS = (
+    "400.perlbench", "401.bzip2", "403.gcc", "429.mcf", "434.zeusmp",
+    "445.gobmk", "456.hmmer", "462.libquantum", "464.h264ref",
+    "473.astar", "483.xalancbmk", "252.eon", "178.galgel", "458.sjeng",
+)
+
+#: Figure 5(a): highly linear benchmarks; Figure 5(b): the least linear.
+FIGURE5_LINEAR = ("473.astar", "401.bzip2", "458.sjeng")
+FIGURE5_NONLINEAR = ("456.hmmer", "252.eon", "178.galgel")

@@ -1,0 +1,140 @@
+"""Tests for branch behaviour models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.program.behavior import (
+    BiasedBehavior,
+    GlobalCorrelatedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+from repro.rng import RandomStream
+
+
+def _outcomes(behavior, n=1000, seed=0, history_fn=None):
+    stream = RandomStream(seed)
+    state = behavior.make_state()
+    history = 0
+    outcomes = []
+    for _ in range(n):
+        outcome = behavior.next_outcome(state, history, stream.uniform())
+        outcomes.append(outcome)
+        history = ((history << 1) | outcome) & 0xFFFF
+    return outcomes
+
+
+class TestBiased:
+    def test_strong_taken_bias(self):
+        outcomes = _outcomes(BiasedBehavior(0.9))
+        assert 0.85 < sum(outcomes) / len(outcomes) < 0.95
+
+    def test_strong_not_taken_bias(self):
+        outcomes = _outcomes(BiasedBehavior(0.1))
+        assert 0.05 < sum(outcomes) / len(outcomes) < 0.15
+
+    def test_always_taken(self):
+        assert all(_outcomes(BiasedBehavior(1.0), n=100))
+
+    def test_never_taken(self):
+        assert not any(_outcomes(BiasedBehavior(0.0), n=100))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BiasedBehavior(1.5)
+        with pytest.raises(ConfigurationError):
+            BiasedBehavior(-0.1)
+
+    def test_outcomes_binary(self):
+        assert set(_outcomes(BiasedBehavior(0.5))) <= {0, 1}
+
+
+class TestLoop:
+    def test_exact_trip_pattern(self):
+        outcomes = _outcomes(LoopBehavior(trip_count=4), n=12)
+        # taken 3 times, not-taken once, repeating
+        assert outcomes == [1, 1, 1, 0] * 3
+
+    def test_trip_two(self):
+        outcomes = _outcomes(LoopBehavior(trip_count=2), n=6)
+        assert outcomes == [1, 0] * 3
+
+    def test_exit_rate_matches_trip(self):
+        outcomes = _outcomes(LoopBehavior(trip_count=10), n=1000)
+        exits = outcomes.count(0)
+        assert 90 <= exits <= 110
+
+    def test_jitter_changes_some_trips(self):
+        jittered = _outcomes(LoopBehavior(trip_count=4, jitter=0.5), n=400, seed=1)
+        exact = [1, 1, 1, 0] * 100
+        assert jittered != exact
+        # Still loop-like: exits are rarer than iterations.
+        assert jittered.count(0) < jittered.count(1)
+
+    def test_trip_too_small(self):
+        with pytest.raises(ConfigurationError):
+            LoopBehavior(trip_count=1)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            LoopBehavior(trip_count=4, jitter=1.5)
+
+
+class TestPattern:
+    def test_repeats_exactly(self):
+        outcomes = _outcomes(PatternBehavior((1, 0, 1, 1)), n=8)
+        assert outcomes == [1, 0, 1, 1, 1, 0, 1, 1]
+
+    def test_single_bit_pattern(self):
+        assert _outcomes(PatternBehavior((1,)), n=5) == [1] * 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternBehavior(())
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternBehavior((1, 2))
+
+    def test_independent_states(self):
+        behavior = PatternBehavior((1, 0))
+        s1 = behavior.make_state()
+        s2 = behavior.make_state()
+        assert behavior.next_outcome(s1, 0, 0.0) == 1
+        assert behavior.next_outcome(s1, 0, 0.0) == 0
+        # Second state starts fresh.
+        assert behavior.next_outcome(s2, 0, 0.0) == 1
+
+
+class TestGlobalCorrelated:
+    def test_noiseless_parity(self):
+        behavior = GlobalCorrelatedBehavior(history_bits=(0,), noise=0.0)
+        state = behavior.make_state()
+        assert behavior.next_outcome(state, history=1, u=0.9) == 1
+        assert behavior.next_outcome(state, history=0, u=0.9) == 0
+
+    def test_two_bit_parity(self):
+        behavior = GlobalCorrelatedBehavior(history_bits=(0, 1), noise=0.0)
+        state = behavior.make_state()
+        assert behavior.next_outcome(state, history=0b11, u=0.9) == 0
+        assert behavior.next_outcome(state, history=0b01, u=0.9) == 1
+
+    def test_invert(self):
+        plain = GlobalCorrelatedBehavior(history_bits=(0,), noise=0.0)
+        inverted = GlobalCorrelatedBehavior(history_bits=(0,), noise=0.0, invert=True)
+        assert plain.next_outcome(None, 1, 0.9) != inverted.next_outcome(None, 1, 0.9)
+
+    def test_noise_flips(self):
+        behavior = GlobalCorrelatedBehavior(history_bits=(0,), noise=0.5)
+        # u below noise threshold flips the parity.
+        assert behavior.next_outcome(None, history=1, u=0.1) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GlobalCorrelatedBehavior(history_bits=())
+        with pytest.raises(ConfigurationError):
+            GlobalCorrelatedBehavior(history_bits=(20,))
+        with pytest.raises(ConfigurationError):
+            GlobalCorrelatedBehavior(history_bits=(0,), noise=0.9)

@@ -1,0 +1,59 @@
+"""Tests for blame analysis (Figure 6 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blame import BlameAnalysis
+from repro.errors import ModelError
+
+from tests.test_model import _synthetic_observations
+
+
+class TestBlame:
+    def test_branch_dominates_synthetic(self):
+        report = BlameAnalysis().analyze(_synthetic_observations())
+        assert report.dominant_event == "mpki"
+        assert report.per_event["mpki"].r_squared > 0.8
+        assert report.per_event["mpki"].significant
+
+    def test_uncorrelated_events_blamed_little(self):
+        report = BlameAnalysis().analyze(_synthetic_observations())
+        assert report.per_event["l2_mpki"].r_squared < 0.2
+
+    def test_combined_at_least_best_single(self):
+        report = BlameAnalysis().analyze(_synthetic_observations())
+        best = max(blame.r_squared for blame in report.events)
+        assert report.combined_r_squared >= best - 1e-9
+
+    def test_sum_of_parts(self):
+        report = BlameAnalysis().analyze(_synthetic_observations())
+        assert report.sum_of_parts == pytest.approx(
+            sum(blame.r_squared for blame in report.events)
+        )
+
+    def test_zero_variance_event_handled(self):
+        obs = _synthetic_observations()
+        # Force the L1D metric (constant 2000 counts) into the event list.
+        report = BlameAnalysis(events=("mpki", "l1d_mpki")).analyze(obs)
+        l1d = report.per_event["l1d_mpki"]
+        assert l1d.r_squared == 0.0
+        assert not l1d.significant
+        # Combined model still fits using the remaining regressor.
+        assert report.combined_r_squared > 0.8
+
+    def test_custom_alpha(self):
+        strict = BlameAnalysis(alpha=1e-12)
+        report = strict.analyze(_synthetic_observations(noise=0.01))
+        # Very strict alpha makes weak correlations insignificant.
+        assert not report.per_event["l2_mpki"].significant
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BlameAnalysis(events=())
+        with pytest.raises(ModelError):
+            BlameAnalysis(alpha=0.0)
+
+    def test_benchmark_name_propagated(self):
+        report = BlameAnalysis().analyze(_synthetic_observations(benchmark="x.bench"))
+        assert report.benchmark == "x.bench"

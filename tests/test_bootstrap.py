@@ -1,0 +1,88 @@
+"""Tests for bootstrap intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.stats.bootstrap import bootstrap_interval, bootstrap_regression_prediction
+from repro.stats.intervals import confidence_interval_mean_response
+from repro.stats.regression import fit_simple
+
+
+class TestBootstrapInterval:
+    def test_contains_point_estimate(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 1.0, 80)
+        interval = bootstrap_interval(values, seed=1)
+        assert interval.low <= interval.center <= interval.high
+
+    def test_covers_true_mean(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(5.0, 1.0, 200)
+        interval = bootstrap_interval(values, seed=2)
+        assert interval.contains(5.0)
+
+    def test_matches_parametric_width_on_normal_data(self):
+        """On normal data, bootstrap and t-based mean CIs should agree."""
+        rng = np.random.default_rng(2)
+        values = rng.normal(0.0, 1.0, 150)
+        boot = bootstrap_interval(values, n_resamples=4000, seed=3)
+        # Parametric CI of the mean.
+        stderr = values.std(ddof=1) / np.sqrt(values.size)
+        assert boot.half_width == pytest.approx(1.96 * stderr, rel=0.2)
+
+    def test_custom_statistic(self):
+        values = np.array([1.0, 2.0, 3.0, 100.0] * 20)
+        interval = bootstrap_interval(
+            values, statistic=lambda arr: float(np.median(arr)), seed=4
+        )
+        assert interval.center == pytest.approx(np.median(values))
+        # Median interval ignores the outlier mass far better than mean.
+        assert interval.high <= 100.0
+
+    def test_deterministic_per_seed(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 1, 50)
+        a = bootstrap_interval(values, seed=7)
+        b = bootstrap_interval(values, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            bootstrap_interval([1.0])
+        with pytest.raises(ModelError):
+            bootstrap_interval([1.0, 2.0], n_resamples=10)
+        with pytest.raises(ModelError):
+            bootstrap_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestBootstrapRegression:
+    def _data(self, n=80, noise=0.5, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 10, n)
+        y = 2.0 * x + 1.0 + rng.normal(0, noise, n)
+        return x, y
+
+    def test_contains_fit_prediction(self):
+        x, y = self._data()
+        interval = bootstrap_regression_prediction(x, y, x0=5.0, seed=1)
+        assert interval.low <= interval.center <= interval.high
+        assert interval.center == pytest.approx(fit_simple(x, y).predict(5.0))
+
+    def test_agrees_with_parametric_ci(self):
+        x, y = self._data(n=120, noise=1.0, seed=2)
+        boot = bootstrap_regression_prediction(x, y, x0=4.0, n_resamples=3000, seed=3)
+        parametric = confidence_interval_mean_response(fit_simple(x, y), 4.0)
+        assert boot.half_width == pytest.approx(parametric.half_width, rel=0.35)
+
+    def test_extrapolation_widens(self):
+        x, y = self._data(seed=4)
+        near = bootstrap_regression_prediction(x, y, x0=float(np.mean(x)), seed=5)
+        far = bootstrap_regression_prediction(x, y, x0=-5.0, seed=5)
+        assert far.half_width > near.half_width
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            bootstrap_regression_prediction([1.0, 2.0], [1.0, 2.0], x0=0.0)

@@ -1,0 +1,57 @@
+"""Tests for the branch target buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.btb import BranchTargetBuffer
+
+
+def _stream(pcs, outcomes):
+    return np.array(pcs, dtype=np.int64), np.array(outcomes, dtype=np.uint8)
+
+
+class TestBtb:
+    def test_first_taken_misses_then_hits(self):
+        addresses, outcomes = _stream([0x1000, 0x1000, 0x1000], [1, 1, 1])
+        assert BranchTargetBuffer(entries=64, associativity=2).simulate(
+            addresses, outcomes
+        ) == 1
+
+    def test_not_taken_never_misses(self):
+        addresses, outcomes = _stream([0x1000] * 5, [0] * 5)
+        assert BranchTargetBuffer().simulate(addresses, outcomes) == 0
+
+    def test_conflict_eviction(self):
+        # 4 entries, 1-way => 4 sets. Five distinct taken branches mapping
+        # to the same set thrash it.
+        btb = BranchTargetBuffer(entries=4, associativity=1)
+        pcs = [0x1000, 0x1040, 0x1000, 0x1040] * 10
+        addresses, outcomes = _stream(pcs, [1] * len(pcs))
+        # 0x1000>>2=0x400, 0x1040>>2=0x410: set = idx & 3 -> both set 0.
+        assert btb.simulate(addresses, outcomes) == len(pcs)
+
+    def test_associativity_absorbs(self):
+        btb = BranchTargetBuffer(entries=8, associativity=2)
+        pcs = [0x1000, 0x1040, 0x1000, 0x1040] * 10
+        addresses, outcomes = _stream(pcs, [1] * len(pcs))
+        assert btb.simulate(addresses, outcomes) == 2
+
+    def test_warmup_excludes_cold_misses(self):
+        addresses, outcomes = _stream([0x1000, 0x2000, 0x1000, 0x2000], [1, 1, 1, 1])
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        assert btb.simulate(addresses, outcomes, warmup=2) == 0
+
+    def test_scalar_interface(self):
+        btb = BranchTargetBuffer(entries=64, associativity=2)
+        assert btb.lookup_and_update(0x1000, taken=1) is True
+        assert btb.lookup_and_update(0x1000, taken=1) is False
+        assert btb.lookup_and_update(0x9999, taken=0) is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BranchTargetBuffer(entries=100)
+        with pytest.raises(ConfigurationError):
+            BranchTargetBuffer(entries=64, associativity=3)

@@ -1,0 +1,37 @@
+"""Tests for cache interferometry (Figure 3 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache_exp import run_cache_interferometry
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def result(machine):
+    return run_cache_interferometry(
+        machine, get_benchmark("454.calculix"), n_layouts=10, trace_events=3000
+    )
+
+
+class TestCacheInterferometry:
+    def test_models_built(self, result):
+        assert result.l1_model.x_metric == "l1d_mpki"
+        assert result.l2_model.x_metric == "l2_mpki"
+        assert result.benchmark == "454.calculix"
+
+    def test_heap_randomization_applied(self, result):
+        seeds = {obs.heap_seed for obs in result.observations}
+        assert None not in seeds
+        assert len(seeds) == len(result.observations)
+
+    def test_l1_misses_vary(self, result):
+        assert result.observations.series("l1d_mpki").std() > 0.0
+
+    def test_positive_cache_cost(self, result):
+        """More L1D misses should cost cycles (positive slope)."""
+        assert result.l1_model.slope > 0.0
+
+    def test_models_share_observations(self, result):
+        assert (result.l1_model.y_values == result.l2_model.y_values).all()

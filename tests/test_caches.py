@@ -1,0 +1,237 @@
+"""Tests for the set-associative caches and hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.uarch.caches import CacheConfig, CacheHierarchy, SetAssociativeCache
+
+
+def _reference_lru_misses(addresses, n_sets, assoc, block=64):
+    """Straightforward reference LRU simulation."""
+    sets = {}
+    misses = 0
+    for addr in addresses:
+        blk = addr // block
+        idx = blk % n_sets
+        tag = blk // n_sets
+        ways = sets.setdefault(idx, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+        else:
+            misses += 1
+            ways.insert(0, tag)
+            if len(ways) > assoc:
+                ways.pop()
+    return misses
+
+
+class TestConfig:
+    def test_n_sets(self):
+        config = CacheConfig(size_bytes=32 * 1024, block_bytes=64, associativity=8)
+        assert config.n_sets == 64
+
+    def test_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=3000)
+
+    def test_indivisible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1024, block_bytes=64, associativity=32)
+
+    def test_block_shift(self):
+        assert CacheConfig(size_bytes=4096, block_bytes=64, associativity=1).block_shift == 6
+
+
+class TestSingleLevel:
+    def test_cold_misses(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 64, 2))
+        addresses = np.arange(0, 10 * 64, 64, dtype=np.int64)
+        assert cache.simulate(addresses) == 10
+
+    def test_repeat_hits(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 64, 2))
+        addresses = np.array([0, 0, 0, 64, 64], dtype=np.int64)
+        assert cache.simulate(addresses) == 2
+
+    def test_same_block_different_offset_hits(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 64, 2))
+        addresses = np.array([0, 8, 56], dtype=np.int64)
+        assert cache.simulate(addresses) == 1
+
+    def test_direct_mapped_conflict(self):
+        # 2 sets, direct-mapped, 64B blocks: addresses 0 and 128 share set 0.
+        cache = SetAssociativeCache(CacheConfig(128, 64, 1))
+        addresses = np.array([0, 128, 0, 128], dtype=np.int64)
+        assert cache.simulate(addresses) == 4
+
+    def test_associativity_absorbs_conflict(self):
+        # Same two blocks but 2-way: both fit.
+        cache = SetAssociativeCache(CacheConfig(256, 64, 2))
+        addresses = np.array([0, 256, 0, 256], dtype=np.int64)
+        assert cache.simulate(addresses) == 2
+
+    def test_lru_eviction_order(self):
+        # 1 set, 2 ways: A B C evicts A; touching A again misses, B hits? No:
+        # A B C -> evict A (LRU). Then B hits, A misses.
+        cache = SetAssociativeCache(CacheConfig(128, 64, 2))
+        a, b, c = 0, 128, 256
+        addresses = np.array([a, b, c, b, a], dtype=np.int64)
+        mask = cache.simulate_mask(addresses)
+        assert list(mask) == [True, True, True, False, True]
+
+    def test_matches_reference_on_random_stream(self):
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 16, 3000)
+        config = CacheConfig(8192, 64, 4)
+        ours = SetAssociativeCache(config).simulate(addresses)
+        reference = _reference_lru_misses(addresses, config.n_sets, 4)
+        assert ours == reference
+
+    def test_scalar_access_interface(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 64, 2))
+        assert cache.access(0) is True
+        assert cache.access(0) is False
+        assert cache.access(32) is False  # same block
+
+    def test_reset_empties(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 64, 2))
+        cache.access(0)
+        cache.reset()
+        assert cache.access(0) is True
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(
+            l1i=CacheConfig(1024, 64, 2, name="l1i"),
+            l1d=CacheConfig(1024, 64, 2, name="l1d"),
+            l2=CacheConfig(4096, 64, 4, name="l2"),
+        )
+
+    def test_counts_consistent(self):
+        rng = np.random.default_rng(1)
+        n = 500
+        i_addr = rng.integers(0x400000, 0x402000, n)
+        d_addr = rng.integers(0x100000, 0x110000, n)
+        events = np.arange(n, dtype=np.int64)
+        counts = self._hierarchy().simulate(i_addr, events, d_addr, events)
+        assert counts.l1i_accesses == n
+        assert counts.l1d_accesses == n
+        assert counts.l2_accesses == counts.l1i_misses + counts.l1d_misses
+        assert counts.l2_misses <= counts.l2_accesses
+
+    def test_l2_absorbs_l1_conflicts(self):
+        # Two blocks conflicting in a 2-way L1 set both fit in the larger L2.
+        n = 400
+        i_addr = np.full(n, 0x400000, dtype=np.int64)
+        blocks = np.array([0x0, 0x400, 0x800], dtype=np.int64)
+        d_addr = np.tile(blocks, n // 3 + 1)[:n] + 0x100000
+        events = np.arange(n, dtype=np.int64)
+        counts = self._hierarchy().simulate(i_addr, events, d_addr, events)
+        assert counts.l1d_misses > n // 2  # 3 blocks thrash the 2-way set
+        assert counts.l2_misses <= 10  # but all fit in the 4-way L2
+
+    def test_warmup_window_counts(self):
+        rng = np.random.default_rng(2)
+        n = 300
+        i_addr = rng.integers(0x400000, 0x402000, n)
+        d_addr = rng.integers(0x100000, 0x110000, n)
+        events = np.arange(n, dtype=np.int64)
+        full = self._hierarchy().simulate(i_addr, events, d_addr, events)
+        windowed = self._hierarchy().simulate(
+            i_addr, events, d_addr, events, warmup_event=100
+        )
+        assert windowed.l1i_accesses == n - 100
+        assert windowed.l1i_misses <= full.l1i_misses
+        assert windowed.l1d_misses <= full.l1d_misses
+
+    def test_empty_data_stream(self):
+        i_addr = np.array([0x400000, 0x400040], dtype=np.int64)
+        events = np.array([0, 1], dtype=np.int64)
+        empty = np.array([], dtype=np.int64)
+        counts = self._hierarchy().simulate(i_addr, events, empty, empty)
+        assert counts.l1d_accesses == 0
+        assert counts.l1i_misses == 2
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_matches_reference(seed, assoc):
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 14, 400)
+    config = CacheConfig(4096, 64, assoc)
+    ours = SetAssociativeCache(config).simulate(addresses)
+    assert ours == _reference_lru_misses(addresses, config.n_sets, assoc)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_property_bigger_cache_never_worse(seed):
+    """LRU caches have the inclusion property: more ways, fewer misses."""
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, 1 << 13, 500)
+    small = SetAssociativeCache(CacheConfig(1024, 64, 2)).simulate(addresses)
+    # Same sets, more ways (true-LRU stack property applies per set).
+    big = SetAssociativeCache(CacheConfig(2048, 64, 4)).simulate(addresses)
+    assert big <= small
+
+
+class TestSkewedAssociative:
+    def _config(self):
+        return CacheConfig(4096, 64, 4, name="skewed")
+
+    def test_repeat_hits(self):
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        cache = SkewedAssociativeCache(self._config())
+        addresses = np.array([0, 0, 64, 64, 0], dtype=np.int64)
+        assert cache.simulate(addresses) == 2
+
+    def test_masks_pathological_stride(self):
+        """Blocks that all map to one set of a set-associative cache
+        spread across sets under skewing."""
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        config = CacheConfig(4096, 64, 4)
+        # 12 blocks, all congruent modulo the 16-set x 64B period.
+        addresses = np.tile(
+            np.arange(12, dtype=np.int64) * (16 * 64), 30
+        )
+        set_assoc = SetAssociativeCache(config).simulate(addresses)
+        skewed = SkewedAssociativeCache(config).simulate(addresses)
+        assert set_assoc > 300      # 4-way set thrashes on 12 conflicting blocks
+        assert skewed < set_assoc / 3
+
+    def test_capacity_still_limits(self):
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        cache = SkewedAssociativeCache(self._config())
+        # Far more blocks than the cache holds: most accesses miss.
+        addresses = np.tile(np.arange(256, dtype=np.int64) * 64, 4)
+        misses = cache.simulate(addresses)
+        assert misses > 512
+
+    def test_scalar_matches_bulk(self):
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        rng = np.random.default_rng(5)
+        addresses = rng.integers(0, 1 << 14, 500)
+        bulk = SkewedAssociativeCache(self._config()).simulate(addresses)
+        scalar_cache = SkewedAssociativeCache(self._config())
+        scalar = sum(scalar_cache.access(int(a)) for a in addresses)
+        assert bulk == scalar
+
+    def test_needs_two_ways(self):
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        with pytest.raises(ConfigurationError):
+            SkewedAssociativeCache(CacheConfig(4096, 64, 1))

@@ -1,0 +1,124 @@
+"""Tests for non-default machine and MASE configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.config import NoiseParameters, TimingParameters, XeonE5440Config
+from repro.machine.pmc import measure_executable
+from repro.machine.system import XeonE5440
+from repro.mase.simulator import MaseConfig, MaseSimulator
+from repro.uarch.caches import CacheConfig
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def exe(camino, tiny_spec, tiny_trace):
+    return camino.build(tiny_spec, tiny_trace, layout_seed=2)
+
+
+class TestMachineVariants:
+    def test_noiseless_machine_is_deterministic_across_runs(self, exe):
+        config = XeonE5440Config(
+            noise=NoiseParameters(
+                relative_sigma=0.0,
+                spike_probability=0.0,
+                core_offset_sigma=0.0,
+                counter_jitter=0.0,
+            )
+        )
+        machine = XeonE5440(config=config, seed=1)
+        from repro.machine.counters import Counter
+
+        a = machine.run_once(exe, run_key="a")[Counter.CYCLES]
+        b = machine.run_once(exe, run_key="b")[Counter.CYCLES]
+        assert a == b
+
+    def test_zero_penalties_floor_cpi(self, exe):
+        config = XeonE5440Config(
+            timing=TimingParameters(
+                mispredict_penalty=0.0,
+                btb_penalty=0.0,
+                l1i_penalty=0.0,
+                l1d_penalty=0.0,
+                l2_penalty=0.0,
+                coupling_mpki_l1d=0.0,
+            ),
+            noise=NoiseParameters(
+                relative_sigma=0.0, spike_probability=0.0,
+                core_offset_sigma=0.0, counter_jitter=0.0,
+            ),
+        )
+        machine = XeonE5440(config=config, seed=1)
+        measurement = measure_executable(machine, exe)
+        assert measurement.cpi == pytest.approx(exe.spec.intrinsic_cpi, rel=0.01)
+
+    def test_bigger_predictor_fewer_mispredicts(self, camino):
+        benchmark = get_benchmark("445.gobmk")
+        trace = benchmark.trace(3000)
+        exe = camino.build(benchmark.spec, trace, layout_seed=0)
+        small_machine = XeonE5440(
+            config=XeonE5440Config(
+                bimodal_entries=256, global_entries=512,
+                history_bits=6, chooser_entries=256,
+            ),
+            seed=1,
+        )
+        big_machine = XeonE5440(
+            config=XeonE5440Config(
+                bimodal_entries=8192, global_entries=16384,
+                history_bits=8, chooser_entries=8192,
+            ),
+            seed=1,
+        )
+        small = small_machine._oracle_counts(exe).mispredicts
+        big = big_machine._oracle_counts(exe).mispredicts
+        assert big < small
+
+    def test_tiny_cache_more_misses(self, exe):
+        small = XeonE5440(
+            config=XeonE5440Config(
+                l1d=CacheConfig(1024, 64, 2, name="L1D"),
+            ),
+            seed=1,
+        )
+        default = XeonE5440(seed=1)
+        assert (
+            small._oracle_counts(exe).l1d_misses
+            >= default._oracle_counts(exe).l1d_misses
+        )
+
+
+class TestMaseVariants:
+    def test_prepare_is_predictor_independent(self):
+        simulator = MaseSimulator()
+        benchmark = get_benchmark("401.bzip2")
+        prepared = simulator.prepare(benchmark, trace_events=1500)
+        first = simulator.run(prepared, BimodalPredictor(256))
+        second = simulator.run(prepared, BimodalPredictor(4096))
+        # Memory cycles are shared; branch behaviour differs.
+        assert first.instructions == second.instructions
+        assert first.mispredicts != second.mispredicts
+
+    def test_custom_penalties_scale_cycles(self):
+        benchmark = get_benchmark("401.bzip2")
+        cheap = MaseSimulator(MaseConfig(mispredict_penalty=1.0))
+        dear = MaseSimulator(MaseConfig(mispredict_penalty=50.0))
+        cheap_result = cheap.run(
+            cheap.prepare(benchmark, trace_events=1500), BimodalPredictor(256)
+        )
+        dear_result = dear.run(
+            dear.prepare(benchmark, trace_events=1500), BimodalPredictor(256)
+        )
+        assert dear_result.cycles > cheap_result.cycles
+        assert dear_result.mispredicts == cheap_result.mispredicts
+
+    def test_warmup_fraction_shrinks_window(self):
+        benchmark = get_benchmark("401.bzip2")
+        wide = MaseSimulator(MaseConfig(warmup_fraction=0.0))
+        narrow = MaseSimulator(MaseConfig(warmup_fraction=0.5))
+        wide_prep = wide.prepare(benchmark, trace_events=1500)
+        narrow_prep = narrow.prepare(benchmark, trace_events=1500)
+        assert narrow_prep.instructions < wide_prep.instructions
+        assert narrow_prep.branches < wide_prep.branches

@@ -1,0 +1,86 @@
+"""Tests for the predictor evaluator (Figures 7-8 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluate import PredictorEvaluator, mean_confidence_interval
+from repro.core.interferometer import Interferometer
+from repro.errors import ConfigurationError
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.hybrid import HybridPredictor
+from repro.workloads.suite import get_benchmark
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def setup(machine):
+    interferometer = Interferometer(machine, trace_events=2500)
+    benchmark = get_benchmark("445.gobmk")
+    observations = interferometer.observe(benchmark, n_layouts=6)
+    evaluator = PredictorEvaluator(
+        interferometer,
+        [
+            BimodalPredictor(256, name="tiny-bimodal"),
+            HybridPredictor(2048, 4096, 8, 2048, name="xeon-twin"),
+        ],
+    )
+    return interferometer, benchmark, observations, evaluator
+
+
+class TestEvaluation:
+    def test_outcomes_per_predictor(self, setup):
+        _, benchmark, observations, evaluator = setup
+        evaluation = evaluator.evaluate(benchmark, observations)
+        assert set(evaluation.by_predictor) == {"tiny-bimodal", "xeon-twin"}
+
+    def test_twin_matches_real_mpki(self, setup):
+        """A predictor identical to the machine's should reproduce the
+        measured MPKI (modulo counter jitter)."""
+        _, benchmark, observations, evaluator = setup
+        evaluation = evaluator.evaluate(benchmark, observations)
+        twin = evaluation.by_predictor["xeon-twin"]
+        assert twin.mean_mpki == pytest.approx(evaluation.real_mean_mpki, rel=0.02)
+
+    def test_worse_predictor_higher_cpi(self, setup):
+        _, benchmark, observations, evaluator = setup
+        evaluation = evaluator.evaluate(benchmark, observations)
+        tiny = evaluation.by_predictor["tiny-bimodal"]
+        twin = evaluation.by_predictor["xeon-twin"]
+        assert tiny.mean_mpki > twin.mean_mpki
+        assert tiny.predicted_cpi.mean > twin.predicted_cpi.mean
+
+    def test_improvement_sign(self, setup):
+        _, benchmark, observations, evaluator = setup
+        evaluation = evaluator.evaluate(benchmark, observations)
+        assert evaluation.predicted_improvement_percent("tiny-bimodal") < 0.0
+
+    def test_real_ci_contains_mean(self, setup):
+        _, benchmark, observations, evaluator = setup
+        evaluation = evaluator.evaluate(benchmark, observations)
+        assert evaluation.real_cpi_confidence.contains(evaluation.real_mean_cpi)
+
+    def test_empty_observations_rejected(self, setup):
+        _, benchmark, _, evaluator = setup
+        from repro.core.observations import ObservationSet
+
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate(benchmark, ObservationSet(benchmark=benchmark.name))
+
+
+class TestMeanCi:
+    def test_contains_mean(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        interval = mean_confidence_interval(values)
+        assert interval.contains(2.5)
+
+    def test_narrows_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(0, 1, 10))
+        large = mean_confidence_interval(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_single_value_degenerate(self):
+        interval = mean_confidence_interval(np.array([5.0]))
+        assert interval.low == interval.high == 5.0

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts run and produce their key output.
+
+Only the two fastest examples run here (the full set is exercised
+manually / by CI at lower frequency); the goal is to catch API drift
+that would break the documented entry points.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "perfect branch prediction" in out
+        assert "significant" in out
+
+    def test_full_campaign(self):
+        out = _run("full_campaign.py")
+        assert "machine park" in out
+        assert "470.lbm" in out
+        assert "no" in out  # the designed t-test failure
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "evaluate_new_predictor.py",
+            "cache_interferometry.py",
+            "measurement_bias.py",
+            "code_placement.py",
+            "indirect_interferometry.py",
+        ],
+    )
+    def test_other_examples_importable(self, script):
+        """The slower examples must at least parse and import cleanly."""
+        source = (EXAMPLES / script).read_text()
+        compile(source, script, "exec")

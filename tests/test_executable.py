@@ -1,0 +1,71 @@
+"""Tests for executables and address binding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build(camino, spec, trace, layout_seed, heap_seed=None):
+    return camino.build(spec, trace, layout_seed=layout_seed, heap_seed=heap_seed)
+
+
+class TestAddressBinding:
+    def test_site_addresses_formula(self, camino, tiny_spec, tiny_trace):
+        exe = _build(camino, tiny_spec, tiny_trace, 1)
+        addrs = exe.branch_site_addresses()
+        expected = (
+            exe.code_layout.proc_base[tiny_trace.site_proc] + tiny_trace.site_offset
+        )
+        assert (addrs == expected).all()
+
+    def test_branch_stream_gathers_sites(self, camino, tiny_spec, tiny_trace):
+        exe = _build(camino, tiny_spec, tiny_trace, 1)
+        stream = exe.branch_address_stream()
+        sites = exe.branch_site_addresses()
+        assert (stream == sites[exe.trace.site_ids]).all()
+
+    def test_ifetch_addresses_within_text(self, camino, tiny_spec, tiny_trace):
+        exe = _build(camino, tiny_spec, tiny_trace, 1)
+        ifetch = exe.ifetch_address_stream()
+        assert ifetch.min() >= exe.code_layout.text_base
+        assert ifetch.max() < exe.code_layout.text_base + exe.code_layout.text_size
+
+    def test_data_addresses_within_heap(self, camino, tiny_spec, tiny_trace):
+        exe = _build(camino, tiny_spec, tiny_trace, 1, heap_seed=3)
+        data = exe.data_address_stream()
+        assert data.min() >= exe.data_layout.heap_base
+        assert data.max() < exe.data_layout.heap_limit
+
+    def test_streams_cached(self, camino, tiny_spec, tiny_trace):
+        exe = _build(camino, tiny_spec, tiny_trace, 1)
+        assert exe.branch_address_stream() is exe.branch_address_stream()
+
+    def test_layouts_move_addresses(self, camino, tiny_spec, tiny_trace):
+        a = _build(camino, tiny_spec, tiny_trace, 1)
+        b = _build(camino, tiny_spec, tiny_trace, 2)
+        assert not np.array_equal(
+            a.branch_site_addresses(), b.branch_site_addresses()
+        )
+
+    def test_outcomes_layout_invariant(self, camino, tiny_spec, tiny_trace):
+        a = _build(camino, tiny_spec, tiny_trace, 1)
+        b = _build(camino, tiny_spec, tiny_trace, 2)
+        assert (a.trace.outcomes == b.trace.outcomes).all()
+        assert a.n_instructions == b.n_instructions
+
+
+class TestFingerprint:
+    def test_stable(self, camino, tiny_spec, tiny_trace):
+        a = _build(camino, tiny_spec, tiny_trace, 1)
+        b = _build(camino, tiny_spec, tiny_trace, 1)
+        assert a.fingerprint == b.fingerprint
+
+    def test_differs_by_code_layout(self, camino, tiny_spec, tiny_trace):
+        a = _build(camino, tiny_spec, tiny_trace, 1)
+        b = _build(camino, tiny_spec, tiny_trace, 2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_differs_by_heap_layout(self, camino, tiny_spec, tiny_trace):
+        a = _build(camino, tiny_spec, tiny_trace, 1, heap_seed=1)
+        b = _build(camino, tiny_spec, tiny_trace, 1, heap_seed=2)
+        assert a.fingerprint != b.fingerprint

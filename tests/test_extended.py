@@ -1,0 +1,37 @@
+"""Tests for the extended predictor study harness."""
+
+from __future__ import annotations
+
+from repro.harness import extended
+
+
+class TestExtendedStudy:
+    def test_structure(self, lab):
+        result = extended.run(lab, benchmarks=("445.gobmk",), n_layouts=4)
+        rows = result.rows_for("445.gobmk")
+        assert {row.predictor for row in rows} == {
+            "tournament", "perceptron", "agree", "bimode", "gskew", "TAGE",
+        }
+        for row in rows:
+            assert row.mean_mpki > 0
+            assert row.pi_low <= row.predicted_cpi <= row.pi_high
+
+    def test_predicted_cpi_monotone_in_mpki(self, lab):
+        result = extended.run(lab, benchmarks=("445.gobmk",), n_layouts=4)
+        rows = result.rows_for("445.gobmk")  # sorted by MPKI
+        cpis = [row.predicted_cpi for row in rows]
+        assert cpis == sorted(cpis)
+
+    def test_sensitivity_ranking_includes_real(self, lab):
+        result = extended.run(lab, benchmarks=("445.gobmk",), n_layouts=4)
+        ranking = result.sensitivity_ranking("445.gobmk")
+        names = [name for name, _ in ranking]
+        assert "real (hybrid)" in names
+        spreads = [spread for _, spread in ranking]
+        assert spreads == sorted(spreads, reverse=True)
+
+    def test_render(self, lab):
+        result = extended.run(lab, benchmarks=("445.gobmk",), n_layouts=4)
+        text = result.render()
+        assert "Extended predictor study" in text
+        assert "445.gobmk" in text

@@ -1,0 +1,105 @@
+"""Coverage for smaller API surfaces not exercised elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError
+from repro.heap.layout import DataLayout
+from repro.machine.counters import Counter
+from repro.machine.pmc import measure_executable
+from repro.toolchain.camino import Camino
+from repro.toolchain.linker import ObjectFile
+
+from tests.conftest import make_tiny_spec
+
+
+class TestDataLayoutValidation:
+    def test_overlap_detected(self):
+        spec = make_tiny_spec()
+        bases = np.array([0x1000, 0x1000], dtype=np.int64)  # same base
+        layout = DataLayout(
+            program=spec.name,
+            object_base=bases,
+            heap_base=0x1000,
+            heap_limit=0x10000,
+            allocator="test",
+        )
+        with pytest.raises(AllocationError, match="overlap"):
+            layout.validate_no_overlap(spec)
+
+    def test_base_of(self):
+        spec = make_tiny_spec()
+        bases = np.array([0x1000, 0x9000], dtype=np.int64)
+        layout = DataLayout(
+            program=spec.name,
+            object_base=bases,
+            heap_base=0x1000,
+            heap_limit=0x10000,
+            allocator="test",
+        )
+        assert layout.base_of(spec, "table") == 0x1000
+        assert layout.base_of(spec, "buffer") == 0x9000
+
+
+class TestBuildCustom:
+    def test_build_custom_matches_manual_order(self, tiny_spec, tiny_trace, camino):
+        objects = [
+            ObjectFile(name=f.name, procedure_names=f.procedure_names)
+            for f in reversed(tiny_spec.files)
+        ]
+        exe = camino.build_custom(tiny_spec, tiny_trace, objects)
+        assert exe.layout_seed == -2
+        # Reversed file order: the first procedure of the second file now
+        # has the lowest address.
+        first_of_second = tiny_spec.files[1].procedure_names[0]
+        assert exe.code_layout.link_order[0] == first_of_second
+
+    def test_build_custom_with_heap_seed(self, tiny_spec, tiny_trace, camino):
+        objects = camino.base_object_files(tiny_spec)
+        a = camino.build_custom(tiny_spec, tiny_trace, objects, heap_seed=1)
+        b = camino.build_custom(tiny_spec, tiny_trace, objects, heap_seed=2)
+        assert list(a.data_layout.object_base) != list(b.data_layout.object_base)
+
+    def test_build_custom_run_limit(self, tiny_spec, tiny_trace, camino):
+        objects = camino.base_object_files(tiny_spec)
+        limited = camino.build_custom(tiny_spec, tiny_trace, objects)
+        unlimited = camino.build_custom(
+            tiny_spec, tiny_trace, objects, apply_run_limit=False
+        )
+        assert unlimited.trace.n_events == tiny_trace.n_events
+        assert limited.trace.n_events <= unlimited.trace.n_events
+
+
+class TestBtbMetric:
+    def test_btb_mpki_via_observation(self, machine, camino, tiny_spec, tiny_trace):
+        exe = camino.build(tiny_spec, tiny_trace, layout_seed=0)
+        measurement = measure_executable(
+            machine, exe, events=[Counter.BTB_MISSES, Counter.BRANCHES]
+        )
+        assert measurement.btb_mpki >= 0.0
+        counts = machine._oracle_counts(exe)
+        assert measurement.btb_mpki == pytest.approx(
+            counts.btb_misses / counts.instructions * 1000.0, rel=0.02
+        )
+
+
+class TestGasFamilyAccuracy:
+    def test_hybrid_family_monotone_on_benchmark(self, camino, perlbench):
+        """The Figure-7 sweep is accuracy-monotone in budget on a real
+        benchmark trace (averaged over a few layouts)."""
+        from repro.uarch.predictors.gas import gas_hybrid_family
+
+        trace = perlbench.trace(3000)
+        warmup = trace.n_events // 4
+        totals = {p.name: 0 for p in gas_hybrid_family()}
+        for seed in range(4):
+            exe = camino.build(perlbench.spec, trace, layout_seed=seed)
+            addresses = exe.branch_address_stream()
+            for predictor in gas_hybrid_family():
+                totals[predictor.name] += predictor.simulate(
+                    addresses, exe.trace.outcomes, warmup=warmup
+                )
+        ordered = [totals[f"GAs-{s}KB"] for s in (2, 4, 8, 16)]
+        assert ordered == sorted(ordered, reverse=True)

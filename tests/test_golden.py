@@ -1,0 +1,37 @@
+"""Golden reproducibility pins.
+
+The layout-seed sequence and the synthetic suite are *published
+contracts*: the paper's methodology depends on every tool seeing the
+same reorderings ("the same first 100 reorderings", §7.2), and any
+change to the workload generator silently invalidates recorded
+campaigns.  These tests pin literal values so such changes are loud.
+If you change them intentionally, bump the suite's MASTER_SEED story in
+docs/METHODOLOGY.md and regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.interferometer import heap_seed, layout_seed
+from repro.workloads.suite import get_benchmark
+
+
+class TestGoldenSeeds:
+    def test_layout_seed_sequence_pinned(self):
+        assert layout_seed("400.perlbench", 0) == 306948419458927884
+        assert layout_seed("400.perlbench", 99) == 7285435275213814084
+
+    def test_heap_seed_pinned(self):
+        assert heap_seed("454.calculix", 0) == 2585991850853472037
+
+
+class TestGoldenSuite:
+    def test_perlbench_spec_digest_pinned(self):
+        benchmark = get_benchmark("400.perlbench")
+        assert benchmark.spec.digest == "82d2faaef1d3f01dd6d2bc9a"
+        assert benchmark.trace_seed == 6544350364003759159
+
+    def test_perlbench_trace_prefix_pinned(self):
+        trace = get_benchmark("400.perlbench").trace(2000)
+        assert int(trace.outcomes[:64].sum()) == 43
+        assert int(trace.site_ids[:8].sum()) == 328
+        assert trace.total_instructions == 14089

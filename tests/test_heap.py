@@ -1,0 +1,94 @@
+"""Tests for the heap allocators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.heap.diehard import DieHardAllocator, SequentialAllocator
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_tiny_spec()
+
+
+class TestSequential:
+    def test_no_overlap(self, spec):
+        layout = SequentialAllocator().allocate(spec)
+        layout.validate_no_overlap(spec)
+
+    def test_seed_ignored(self, spec):
+        a = SequentialAllocator().allocate(spec, seed=1)
+        b = SequentialAllocator().allocate(spec, seed=2)
+        assert list(a.object_base) == list(b.object_base)
+
+    def test_declaration_order(self, spec):
+        layout = SequentialAllocator().allocate(spec)
+        bases = list(layout.object_base)
+        assert bases == sorted(bases)
+
+    def test_alignment(self, spec):
+        layout = SequentialAllocator().allocate(spec)
+        assert all(base % 64 == 0 for base in layout.object_base)
+
+    def test_heap_limit(self, spec):
+        layout = SequentialAllocator().allocate(spec)
+        total = sum(obj.size_bytes for obj in spec.heap_objects)
+        assert layout.heap_limit - layout.heap_base >= total
+
+
+class TestDieHard:
+    def test_no_overlap(self, spec):
+        layout = DieHardAllocator().allocate(spec, seed=1)
+        layout.validate_no_overlap(spec)
+
+    def test_deterministic_per_seed(self, spec):
+        a = DieHardAllocator().allocate(spec, seed=5)
+        b = DieHardAllocator().allocate(spec, seed=5)
+        assert list(a.object_base) == list(b.object_base)
+
+    def test_seeds_differ(self, spec):
+        placements = {
+            tuple(DieHardAllocator().allocate(spec, seed=s).object_base)
+            for s in range(10)
+        }
+        assert len(placements) > 5
+
+    def test_alignment(self, spec):
+        layout = DieHardAllocator().allocate(spec, seed=2)
+        assert all(base % 64 == 0 for base in layout.object_base)
+
+    def test_set_mapping_varies(self, spec):
+        """Placement jitter must move objects across cache sets."""
+        sets_seen = set()
+        for seed in range(20):
+            layout = DieHardAllocator().allocate(spec, seed=seed)
+            sets_seen.add((int(layout.object_base[0]) >> 6) & 63)
+        assert len(sets_seen) > 3
+
+    def test_overprovision_validation(self):
+        with pytest.raises(ConfigurationError):
+            DieHardAllocator(overprovision=0.5)
+
+    def test_objects_within_heap(self, spec):
+        layout = DieHardAllocator().allocate(spec, seed=3)
+        for i, obj in enumerate(spec.heap_objects):
+            assert layout.heap_base <= layout.object_base[i]
+            assert layout.object_base[i] + obj.size_bytes <= layout.heap_limit
+
+    def test_allocator_names(self, spec):
+        assert SequentialAllocator().allocate(spec).allocator == "sequential"
+        assert DieHardAllocator().allocate(spec, seed=0).allocator == "diehard"
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_property_diehard_never_overlaps(seed):
+    spec = make_tiny_spec()
+    layout = DieHardAllocator(overprovision=2.0).allocate(spec, seed=seed)
+    layout.validate_no_overlap(spec)

@@ -1,0 +1,165 @@
+"""Tests for indirect-branch targets: behaviour, predictors, machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.counters import Counter
+from repro.machine.pmc import measure_executable
+from repro.machine.system import XeonE5440
+from repro.program.behavior import BiasedBehavior, IndirectTargetBehavior
+from repro.program.structure import BranchSite, ProcedureSpec, ProgramSpec, SourceFile
+from repro.program.tracegen import generate_trace
+from repro.toolchain.camino import Camino
+from repro.uarch.predictors.indirect import IttageLitePredictor, LastTargetPredictor
+
+
+def make_dispatch_spec(n_targets=6, repeat_prob=0.2, history_weight=0.9):
+    """A tiny interpreter-like program: one hot indirect dispatch site
+    plus a few conditional branches."""
+    dispatch = BranchSite(
+        name="dispatch",
+        offset=48,
+        behavior=BiasedBehavior(1.0),  # indirect branches are always taken
+        instr_gap=6,
+        target_behavior=IndirectTargetBehavior(
+            n_targets=n_targets,
+            repeat_prob=repeat_prob,
+            history_weight=history_weight,
+        ),
+    )
+    handlers = tuple(
+        BranchSite(
+            name=f"handler{i}",
+            offset=48 + 64 * (i + 1),
+            behavior=BiasedBehavior(0.9),
+            instr_gap=5,
+        )
+        for i in range(3)
+    )
+    proc = ProcedureSpec(name="interp_loop", sites=(dispatch,) + handlers)
+    helper = ProcedureSpec(
+        name="helper",
+        sites=(BranchSite(name="h0", offset=32, behavior=BiasedBehavior(0.7)),),
+    )
+    return ProgramSpec(
+        name="tiny-interp",
+        procedures=(proc, helper),
+        files=(SourceFile(name="interp.o", procedure_names=("interp_loop", "helper")),),
+    )
+
+
+@pytest.fixture(scope="module")
+def dispatch_trace():
+    spec = make_dispatch_spec()
+    return spec, generate_trace(spec, seed=11, n_events=3000)
+
+
+class TestTargetBehavior:
+    def test_targets_in_range(self, dispatch_trace):
+        _, trace = dispatch_trace
+        indirect = trace.targets[trace.targets >= 0]
+        assert indirect.size > 0
+        assert indirect.min() >= 0
+        assert indirect.max() < 6
+
+    def test_conditional_events_marked(self, dispatch_trace):
+        _, trace = dispatch_trace
+        assert (trace.targets == -1).any()
+
+    def test_targets_layout_invariant(self, dispatch_trace):
+        spec, trace = dispatch_trace
+        again = generate_trace(spec, seed=11, n_events=3000)
+        assert (trace.targets == again.targets).all()
+
+    def test_repeat_prob_controls_burstiness(self):
+        bursty_spec = make_dispatch_spec(repeat_prob=0.9)
+        flat_spec = make_dispatch_spec(repeat_prob=0.0)
+        bursty = generate_trace(bursty_spec, seed=1, n_events=2000).targets
+        flat = generate_trace(flat_spec, seed=1, n_events=2000).targets
+        def repeat_rate(targets):
+            t = targets[targets >= 0]
+            return float((t[1:] == t[:-1]).mean())
+        assert repeat_rate(bursty) > repeat_rate(flat) + 0.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IndirectTargetBehavior(n_targets=1)
+        with pytest.raises(ConfigurationError):
+            IndirectTargetBehavior(n_targets=4, repeat_prob=1.0)
+
+
+class TestTargetPredictors:
+    def _bound(self, dispatch_trace, layout_seed=0):
+        spec, trace = dispatch_trace
+        exe = Camino().build(spec, trace, layout_seed=layout_seed)
+        return exe.branch_address_stream(), exe.trace.targets
+
+    def test_last_target_learns_repeats(self):
+        addresses = np.full(100, 0x1000, dtype=np.int64)
+        targets = np.full(100, 3, dtype=np.int32)
+        assert LastTargetPredictor(entries=64).simulate(addresses, targets) == 1
+
+    def test_last_target_skips_conditionals(self):
+        addresses = np.full(10, 0x1000, dtype=np.int64)
+        targets = np.full(10, -1, dtype=np.int32)
+        assert LastTargetPredictor(entries=64).simulate(addresses, targets) == 0
+
+    def test_ittage_learns_history_patterns(self, dispatch_trace):
+        """On a history-correlated dispatch site, ITTAGE-lite beats the
+        last-target BTB policy (the point of ITTAGE)."""
+        addresses, targets = self._bound(dispatch_trace)
+        last = LastTargetPredictor(entries=512).simulate(addresses, targets)
+        ittage = IttageLitePredictor(entries=2048).simulate(addresses, targets)
+        assert ittage < last * 0.85
+
+    def test_warmup_reduces_counts(self, dispatch_trace):
+        addresses, targets = self._bound(dispatch_trace)
+        predictor = LastTargetPredictor(entries=512)
+        full = predictor.simulate(addresses, targets)
+        windowed = predictor.simulate(addresses, targets, warmup=len(targets) // 2)
+        assert windowed <= full
+
+    def test_scalar_interface(self):
+        predictor = LastTargetPredictor(entries=64)
+        assert predictor.predict_and_update(0x1000, 2) is False
+        assert predictor.predict_and_update(0x1000, 2) is True
+
+    def test_negative_warmup(self, dispatch_trace):
+        addresses, targets = self._bound(dispatch_trace)
+        with pytest.raises(ConfigurationError):
+            LastTargetPredictor().simulate(addresses, targets, warmup=-1)
+
+
+class TestMachineIntegration:
+    def test_indirect_counter_measured(self, dispatch_trace):
+        spec, trace = dispatch_trace
+        machine = XeonE5440(seed=3)
+        exe = Camino().build(spec, trace, layout_seed=0)
+        measurement = measure_executable(
+            machine, exe, events=[Counter.INDIRECT_MISPREDICTS, Counter.BRANCHES]
+        )
+        assert measurement[Counter.INDIRECT_MISPREDICTS] > 0
+
+    def test_suite_benchmarks_have_no_indirect_events(self, machine, camino,
+                                                      tiny_spec, tiny_trace):
+        """The calibrated suite is untouched by the indirect extension."""
+        exe = camino.build(tiny_spec, tiny_trace, layout_seed=0)
+        counts = machine._oracle_counts(exe)
+        assert counts.indirect_mispredicts == 0
+
+    def test_indirect_misses_cost_cycles(self, dispatch_trace):
+        """Replacing the dispatch site's targets with constant ones
+        lowers CPI (fewer indirect mispredictions, same instructions)."""
+        spec, trace = dispatch_trace
+        machine = XeonE5440(seed=3)
+        exe = Camino().build(spec, trace, layout_seed=0)
+        noisy = measure_executable(machine, exe, events=[Counter.BRANCHES])
+
+        constant_spec = make_dispatch_spec(repeat_prob=0.98)
+        constant_trace = generate_trace(constant_spec, seed=11, n_events=3000)
+        constant_exe = Camino().build(constant_spec, constant_trace, layout_seed=0)
+        steady = measure_executable(machine, constant_exe, events=[Counter.BRANCHES])
+        assert steady.cpi < noisy.cpi

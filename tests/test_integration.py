@@ -1,0 +1,93 @@
+"""End-to-end integration tests: the paper's pipeline on small campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.interferometer import Interferometer
+from repro.core.model import PerformanceModel
+from repro.harness.lab import Laboratory
+from repro.machine.system import XeonE5440
+from repro.pintool.brsim import PinTool
+from repro.uarch.predictors.perfect import PerfectPredictor
+from repro.uarch.predictors.tage import LTagePredictor
+from repro.workloads.suite import get_benchmark
+
+from tests.conftest import TEST_SCALE
+
+
+class TestEndToEnd:
+    def test_sensitive_benchmark_full_pipeline(self, lab):
+        """Measure -> model -> significant -> sane slope."""
+        model = lab.model("445.gobmk")
+        assert model.is_significant()
+        # Slope is (penalty x exposure)/1000 diluted by other variance
+        # channels; it must at least be positive and of the right order.
+        assert 0.005 < model.slope < 0.08
+
+    def test_slope_reflects_penalty(self, lab):
+        """The fitted MPKI cost should be near the machine's misprediction
+        penalty (26 cycles -> 0.026 CPI per MPKI) scaled by exposure."""
+        model = lab.model("462.libquantum")
+        exposure = lab.benchmark("462.libquantum").personality.mispredict_exposure
+        expected = 26.0 * exposure / 1000.0
+        assert model.slope == pytest.approx(expected, rel=0.4)
+
+    def test_predicted_perfect_cpi_below_mean(self, lab):
+        model = lab.model("445.gobmk")
+        prediction = model.perfect_event_prediction()
+        assert prediction.mean < float(model.y_values.mean())
+
+    def test_ltage_beats_real_everywhere(self, lab):
+        """Pin-simulated L-TAGE MPKI < measured real MPKI (§7.2.2)."""
+        interferometer = lab.interferometer
+        wins = 0
+        names = ["400.perlbench", "445.gobmk", "471.omnetpp"]
+        for name in names:
+            benchmark = lab.benchmark(name)
+            observations = lab.observations(name)
+            tool = PinTool([LTagePredictor()], warmup_fraction=0.25)
+            exe = interferometer.build_executable(benchmark, 0)
+            ltage_mpki = tool.run(exe)["L-TAGE"].mpki
+            if ltage_mpki < float(observations.mpkis.mean()):
+                wins += 1
+        assert wins == len(names)
+
+    def test_reproducibility_across_laboratories(self):
+        """Two labs with the same seeds produce identical campaigns."""
+        a = Laboratory(scale=TEST_SCALE, machine_seed=11)
+        b = Laboratory(scale=TEST_SCALE, machine_seed=11)
+        obs_a = a.observations("456.hmmer")
+        obs_b = b.observations("456.hmmer")
+        assert (obs_a.cpis == obs_b.cpis).all()
+        assert (obs_a.mpkis == obs_b.mpkis).all()
+
+    def test_machine_seed_changes_noise_not_structure(self):
+        a = Laboratory(scale=TEST_SCALE, machine_seed=11)
+        b = Laboratory(scale=TEST_SCALE, machine_seed=12)
+        obs_a = a.observations("456.hmmer")
+        obs_b = b.observations("456.hmmer")
+        # Deterministic structural event counts agree (up to jitter)...
+        assert obs_a.mpkis.mean() == pytest.approx(obs_b.mpkis.mean(), rel=0.01)
+        # ...but the noisy cycle measurements differ.
+        assert not np.array_equal(obs_a.cpis, obs_b.cpis)
+
+    def test_insensitive_benchmarks_have_low_mpki(self, lab):
+        sensitive = float(lab.observations("445.gobmk").mpkis.mean())
+        insensitive = float(lab.observations("470.lbm").mpkis.mean())
+        assert insensitive < sensitive / 3
+
+    def test_perfect_predictor_interferometry_sanity(self, machine):
+        """Simulating perfect prediction over observed layouts gives MPKI 0
+        and the model's intercept approximates that CPI."""
+        interferometer = Interferometer(machine, trace_events=2500)
+        benchmark = get_benchmark("462.libquantum")
+        observations = interferometer.observe(benchmark, n_layouts=8)
+        model = PerformanceModel.from_observations(observations)
+        tool = PinTool([PerfectPredictor()], warmup_fraction=0.25)
+        exe = interferometer.build_executable(benchmark, 0)
+        assert tool.run(exe)["perfect"].mpki == 0.0
+        prediction = model.perfect_event_prediction()
+        # The prediction must land below every observed CPI.
+        assert prediction.mean < float(observations.cpis.min())

@@ -1,0 +1,100 @@
+"""Tests for the linker model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LinkError
+from repro.toolchain.linker import DEFAULT_TEXT_BASE, ObjectFile, link
+
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_tiny_spec()
+
+
+def _objects(spec, order=None):
+    files = list(spec.files)
+    if order:
+        files = [files[i] for i in order]
+    return [ObjectFile(name=f.name, procedure_names=f.procedure_names) for f in files]
+
+
+class TestLink:
+    def test_all_procedures_placed(self, spec):
+        layout = link(spec, _objects(spec))
+        assert len(layout.link_order) == len(spec.procedures)
+        assert set(layout.link_order) == {p.name for p in spec.procedures}
+
+    def test_bases_aligned(self, spec):
+        layout = link(spec, _objects(spec), alignment=16)
+        assert all(base % 16 == 0 for base in layout.proc_base)
+
+    def test_custom_alignment(self, spec):
+        layout = link(spec, _objects(spec), alignment=64)
+        assert all(base % 64 == 0 for base in layout.proc_base)
+
+    def test_no_overlap(self, spec):
+        layout = link(spec, _objects(spec))
+        spans = sorted(
+            (int(layout.proc_base[i]), int(layout.proc_base[i]) + proc.size_bytes)
+            for i, proc in enumerate(spec.procedures)
+        )
+        for (lo_a, hi_a), (lo_b, _) in zip(spans, spans[1:]):
+            assert hi_a <= lo_b
+
+    def test_text_base_respected(self, spec):
+        layout = link(spec, _objects(spec), text_base=0x1000)
+        assert min(layout.proc_base) >= 0x1000
+        assert layout.text_base == 0x1000
+
+    def test_default_text_base(self, spec):
+        layout = link(spec, _objects(spec))
+        assert min(layout.proc_base) >= DEFAULT_TEXT_BASE
+
+    def test_encounter_order_is_address_order(self, spec):
+        layout = link(spec, _objects(spec))
+        addresses = [layout.base_of(spec, name) for name in layout.link_order]
+        assert addresses == sorted(addresses)
+
+    def test_file_order_changes_layout(self, spec):
+        a = link(spec, _objects(spec))
+        b = link(spec, _objects(spec, order=[1, 0]))
+        assert list(a.proc_base) != list(b.proc_base)
+
+    def test_deterministic(self, spec):
+        a = link(spec, _objects(spec))
+        b = link(spec, _objects(spec))
+        assert (a.proc_base == b.proc_base).all()
+
+    def test_text_size_covers_code(self, spec):
+        layout = link(spec, _objects(spec))
+        assert layout.text_size >= spec.total_code_bytes
+
+
+class TestLinkErrors:
+    def test_missing_symbol(self, spec):
+        objs = _objects(spec)[:1]
+        with pytest.raises(LinkError, match="undefined"):
+            link(spec, objs)
+
+    def test_duplicate_symbol(self, spec):
+        objs = _objects(spec)
+        objs.append(objs[0])
+        with pytest.raises(LinkError, match="duplicate"):
+            link(spec, objs)
+
+    def test_unknown_symbol(self, spec):
+        objs = _objects(spec) + [ObjectFile(name="x.o", procedure_names=("ghost",))]
+        with pytest.raises(LinkError, match="unknown"):
+            link(spec, objs)
+
+    def test_bad_alignment(self, spec):
+        with pytest.raises(LinkError):
+            link(spec, _objects(spec), alignment=12)
+
+    def test_empty_object_file(self):
+        with pytest.raises(LinkError):
+            ObjectFile(name="e.o", procedure_names=())

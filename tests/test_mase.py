@@ -1,0 +1,111 @@
+"""Tests for the MASE cycle-level simulator and linearity study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mase.configs import N_CONFIGS, mase_predictor_configs
+from repro.mase.linearity import LinearityStudy
+from repro.mase.simulator import MaseSimulator
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.perfect import PerfectPredictor
+from repro.uarch.predictors.static import AlwaysTakenPredictor
+from repro.workloads.suite import get_benchmark
+
+
+class TestConfigs:
+    def test_exactly_145(self):
+        assert len(mase_predictor_configs()) == N_CONFIGS == 145
+
+    def test_all_constructible_and_distinct_behaviour(self):
+        predictors = [factory() for factory in mase_predictor_configs()]
+        assert len(predictors) == 145
+        # Spot check: a wide spread of storage budgets.
+        budgets = {p.storage_bits() for p in predictors}
+        assert len(budgets) > 20
+
+    def test_factories_give_fresh_instances(self):
+        factory = mase_predictor_configs()[5]
+        assert factory() is not factory()
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        simulator = MaseSimulator()
+        return simulator, simulator.prepare(get_benchmark("401.bzip2"), trace_events=2000)
+
+    def test_perfect_prediction_floor(self, prepared):
+        simulator, prep = prepared
+        perfect = simulator.run(prep, PerfectPredictor())
+        bimodal = simulator.run(prep, BimodalPredictor(1024))
+        static = simulator.run(prep, AlwaysTakenPredictor())
+        assert perfect.mpki == 0.0
+        assert perfect.cpi < bimodal.cpi < static.cpi
+        assert bimodal.mpki < static.mpki
+
+    def test_deterministic(self, prepared):
+        simulator, prep = prepared
+        a = simulator.run(prep, BimodalPredictor(512))
+        b = simulator.run(prep, BimodalPredictor(512))
+        assert a == b
+
+    def test_cpi_consistent(self, prepared):
+        simulator, prep = prepared
+        result = simulator.run(prep, BimodalPredictor(512))
+        assert result.cpi == pytest.approx(result.cycles / result.instructions)
+
+    def test_more_mispredicts_more_cycles(self, prepared):
+        simulator, prep = prepared
+        results = [
+            simulator.run(prep, factory())
+            for factory in mase_predictor_configs()[:20]
+        ]
+        pairs = sorted((r.mispredicts, r.cycles) for r in results)
+        for (m1, c1), (m2, c2) in zip(pairs, pairs[1:]):
+            if m2 > m1:
+                assert c2 > c1
+
+
+class TestLinearityStudy:
+    @pytest.fixture(scope="class")
+    def study_result(self):
+        study = LinearityStudy(trace_events=2000, n_configs=15)
+        names = ["473.astar", "178.galgel", "401.bzip2"]
+        return study.run([get_benchmark(n) for n in names])
+
+    def test_reduced_config_count(self):
+        study = LinearityStudy(n_configs=15)
+        assert len(study.factories) == 15
+
+    def test_fit_strongly_linear(self, study_result):
+        for bench in study_result.benchmarks:
+            assert bench.fit.r_squared > 0.97
+
+    def test_nonlinear_benchmark_has_higher_error(self, study_result):
+        galgel = study_result.result_for("178.galgel")
+        astar = study_result.result_for("473.astar")
+        assert galgel.perfect_error_percent > astar.perfect_error_percent
+
+    def test_ltage_error_below_perfect_error(self, study_result):
+        """Interpolation (L-TAGE point) beats extrapolation (0 MPKI)."""
+        for bench in study_result.benchmarks:
+            assert bench.ltage_error_percent <= bench.perfect_error_percent + 0.2
+
+    def test_normalized_points(self, study_result):
+        bench = study_result.result_for("401.bzip2")
+        mpkis, normalized = bench.normalized_points()
+        assert (normalized >= 1.0).all()  # no predictor beats perfect
+
+    def test_sorted_by_error(self, study_result):
+        ordered = study_result.sorted_by_perfect_error()
+        errors = [b.perfect_error_percent for b in ordered]
+        assert errors == sorted(errors)
+
+    def test_unknown_benchmark_lookup(self, study_result):
+        with pytest.raises(KeyError):
+            study_result.result_for("nope")
+
+    def test_means(self, study_result):
+        assert study_result.mean_perfect_error >= 0.0
+        assert study_result.mean_ltage_error >= 0.0

@@ -1,0 +1,125 @@
+"""Tests for performance models over observation sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import CombinedModel, PerformanceModel
+from repro.core.observations import Observation, ObservationSet
+from repro.machine.counters import Counter
+from repro.machine.pmc import Measurement
+
+
+def _synthetic_observations(
+    slope=0.026, intercept=0.6, noise=0.002, n=60, seed=0, benchmark="synthetic"
+):
+    """Observations with a known linear CPI/MPKI law plus noise."""
+    rng = np.random.default_rng(seed)
+    instructions = 1_000_000
+    observations = ObservationSet(benchmark=benchmark)
+    for i in range(n):
+        mpki = rng.uniform(4.0, 9.0)
+        cpi = slope * mpki + intercept + rng.normal(0, noise)
+        mispredicts = int(mpki * instructions / 1000)
+        cycles = int(cpi * instructions)
+        l1i = int(rng.uniform(90, 110))
+        l2 = int(rng.uniform(900, 1100))
+        counters = {
+            Counter.CYCLES: cycles,
+            Counter.INSTRUCTIONS: instructions,
+            Counter.BRANCH_MISPREDICTS: mispredicts,
+            Counter.BRANCHES: instructions // 6,
+            Counter.L1I_MISSES: l1i,
+            Counter.L1D_MISSES: 2000,
+            Counter.L2_MISSES: l2,
+            Counter.BTB_MISSES: 10,
+        }
+        observations.append(
+            Observation(
+                layout_index=i,
+                layout_seed=i,
+                heap_seed=None,
+                measurement=Measurement(
+                    executable_fingerprint=f"f{i}",
+                    layout_seed=i,
+                    heap_seed=None,
+                    counters=counters,
+                ),
+            )
+        )
+    return observations
+
+
+class TestPerformanceModel:
+    def test_recovers_known_law(self):
+        obs = _synthetic_observations()
+        model = PerformanceModel.from_observations(obs)
+        assert model.slope == pytest.approx(0.026, abs=0.002)
+        assert model.intercept == pytest.approx(0.6, abs=0.01)
+
+    def test_significance_on_strong_law(self):
+        model = PerformanceModel.from_observations(_synthetic_observations())
+        assert model.is_significant()
+        assert model.r > 0.9
+
+    def test_insignificance_on_pure_noise(self):
+        obs = _synthetic_observations(slope=0.0, noise=0.05, seed=1)
+        model = PerformanceModel.from_observations(obs)
+        assert model.r_squared < 0.2
+
+    def test_perfect_prediction_interval_ordering(self):
+        model = PerformanceModel.from_observations(_synthetic_observations())
+        result = model.perfect_event_prediction()
+        assert result.x0 == 0.0
+        assert result.prediction.low < result.confidence.low
+        assert result.confidence.high < result.prediction.high
+        assert result.confidence.contains(result.mean)
+
+    def test_perfect_prediction_covers_truth(self):
+        model = PerformanceModel.from_observations(_synthetic_observations())
+        result = model.perfect_event_prediction()
+        assert result.prediction.contains(0.6)
+
+    def test_improvement_percent(self):
+        obs = _synthetic_observations(noise=0.0)
+        model = PerformanceModel.from_observations(obs)
+        mean_cpi = float(obs.cpis.mean())
+        expected = (mean_cpi - 0.6) / mean_cpi * 100.0
+        assert model.improvement_percent(0.0) == pytest.approx(expected, abs=0.2)
+
+    def test_band_shapes(self):
+        model = PerformanceModel.from_observations(_synthetic_observations())
+        line, ci_lo, ci_hi, pi_lo, pi_hi = model.band([0.0, 5.0, 10.0])
+        assert line.shape == (3,)
+        assert (pi_lo <= ci_lo).all()
+        assert (ci_hi <= pi_hi).all()
+
+    def test_alternate_metrics(self):
+        obs = _synthetic_observations()
+        model = PerformanceModel.from_observations(
+            obs, x_metric="l2_mpki", y_metric="cpi"
+        )
+        assert model.x_metric == "l2_mpki"
+        assert not model.is_significant()  # l2 was uncorrelated noise
+
+
+class TestCombinedModel:
+    def test_fits_three_events(self):
+        obs = _synthetic_observations()
+        combined = CombinedModel.from_observations(obs)
+        assert combined.fit.k == 3
+        assert combined.is_significant()
+
+    def test_combined_r2_at_least_single(self):
+        obs = _synthetic_observations()
+        single = PerformanceModel.from_observations(obs).r_squared
+        combined = CombinedModel.from_observations(obs).r_squared
+        assert combined >= single - 1e-12
+
+    def test_predict_with_intervals(self):
+        obs = _synthetic_observations()
+        combined = CombinedModel.from_observations(obs)
+        result = combined.predict([6.0, 0.1, 1.0])
+        assert result.prediction.low < result.mean < result.prediction.high
+        assert result.prediction.half_width > result.confidence.half_width

@@ -1,0 +1,115 @@
+"""Tests for the normality diagnostic and the latency adjustment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import (
+    AdjustedOutcome,
+    latency_adjusted_ranking,
+    storage_latency_model,
+)
+from repro.errors import ConfigurationError, ModelError
+from repro.stats.normality import jarque_bera
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.tage import LTagePredictor
+
+from tests.test_model import _synthetic_observations
+
+
+class TestJarqueBera:
+    def test_normal_sample_passes(self):
+        rng = np.random.default_rng(10)
+        result = jarque_bera(rng.normal(0, 1, 500))
+        assert result.looks_normal()
+        assert abs(result.skewness) < 0.3
+        assert abs(result.excess_kurtosis) < 0.5
+
+    def test_heavy_tailed_sample_fails(self):
+        rng = np.random.default_rng(1)
+        result = jarque_bera(rng.standard_cauchy(500))
+        assert not result.looks_normal()
+
+    def test_skewed_sample_fails(self):
+        rng = np.random.default_rng(2)
+        result = jarque_bera(rng.exponential(1.0, 500))
+        assert not result.looks_normal()
+        assert result.skewness > 1.0
+
+    def test_matches_scipy(self):
+        from scipy import stats as scipy_stats
+
+        rng = np.random.default_rng(3)
+        sample = rng.normal(0, 1, 300)
+        ours = jarque_bera(sample)
+        theirs = scipy_stats.jarque_bera(sample)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            jarque_bera([1.0, 2.0])
+        with pytest.raises(ModelError):
+            jarque_bera([1.0] * 20)
+
+    def test_model_residual_normality(self):
+        from repro.core.model import PerformanceModel
+
+        model = PerformanceModel.from_observations(_synthetic_observations(n=80))
+        result = model.residual_normality()
+        # Residuals were generated as Gaussian noise.
+        assert result.looks_normal()
+
+
+class TestLatencyModel:
+    def test_free_budget_costs_nothing(self):
+        model = storage_latency_model(free_bits=1 << 20)
+        assert model(BimodalPredictor(1024)) == 0.0
+
+    def test_cost_grows_with_storage(self):
+        model = storage_latency_model(free_bits=2048, cpi_per_doubling=0.01)
+        small = model(BimodalPredictor(1024))   # 2048 bits: free
+        big = model(BimodalPredictor(65536))    # 131072 bits: 6 doublings
+        assert small == 0.0
+        assert big == pytest.approx(0.06)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            storage_latency_model(free_bits=0)
+        with pytest.raises(ConfigurationError):
+            storage_latency_model(cpi_per_doubling=-1)
+
+    def test_ranking_can_flip(self, lab):
+        """The §7.2.3 scenario: a harsh latency model erodes L-TAGE's
+        advantage over a small predictor."""
+        from repro.core.evaluate import PredictorEvaluator
+
+        benchmark = lab.benchmark("445.gobmk")
+        observations = lab.observations("445.gobmk")
+        candidates = [
+            BimodalPredictor(1024, name="small-bimodal"),
+            LTagePredictor(),
+        ]
+        evaluator = PredictorEvaluator(lab.interferometer, [candidates[0]])
+        evaluation = lab.evaluation("445.gobmk")  # has L-TAGE already
+        # Build a merged candidate list present in the evaluation.
+        predictors = [p for p in candidates if p.name in evaluation.by_predictor] or [
+            LTagePredictor()
+        ]
+        fair = latency_adjusted_ranking(
+            evaluation, predictors, storage_latency_model(free_bits=1 << 22)
+        )
+        harsh = latency_adjusted_ranking(
+            evaluation, predictors,
+            storage_latency_model(free_bits=256, cpi_per_doubling=0.05),
+        )
+        ltage_fair = next(o for o in fair if o.predictor == "L-TAGE")
+        ltage_harsh = next(o for o in harsh if o.predictor == "L-TAGE")
+        assert ltage_fair.latency_cpi == 0.0
+        assert ltage_harsh.latency_cpi > 0.3
+        assert ltage_harsh.adjusted_cpi > ltage_fair.adjusted_cpi
+
+    def test_adjusted_outcome(self):
+        outcome = AdjustedOutcome(predictor="x", predicted_cpi=1.0, latency_cpi=0.2)
+        assert outcome.adjusted_cpi == pytest.approx(1.2)

@@ -1,0 +1,104 @@
+"""Tests for the machine park."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.park import MachinePark
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def park():
+    return MachinePark(n_machines=4, base_seed=9, trace_events=2500)
+
+
+class TestAssignment:
+    def test_machine_seeds_distinct(self, park):
+        seeds = {park.machine_seed(k) for k in range(4)}
+        assert len(seeds) == 4
+
+    def test_assignment_stable(self, park):
+        assert park.machine_for("403.gcc") == park.machine_for("403.gcc")
+
+    def test_assignment_in_range(self, park):
+        for name in ("a", "b", "c", "d", "e"):
+            assert 0 <= park.machine_for(name) < 4
+
+    def test_identical_configurations(self, park):
+        assert all(m.config == park.machines[0].config for m in park.machines)
+
+    def test_bad_machine_index(self, park):
+        with pytest.raises(ConfigurationError):
+            park.machine_seed(4)
+
+    def test_bad_pool_size(self):
+        with pytest.raises(ConfigurationError):
+            MachinePark(n_machines=0)
+
+
+class TestCampaigns:
+    def test_observe_suite_serial(self, park):
+        results = park.observe_suite(["456.hmmer", "470.lbm"], n_layouts=4)
+        assert set(results) == {"456.hmmer", "470.lbm"}
+        assert all(len(obs) == 4 for obs in results.values())
+
+    def test_parallel_equals_serial(self, park):
+        serial = park.observe_suite(["456.hmmer", "445.gobmk"], n_layouts=3)
+        parallel = park.observe_suite(
+            ["456.hmmer", "445.gobmk"], n_layouts=3, workers=2
+        )
+        for name in serial:
+            assert (serial[name].cpis == parallel[name].cpis).all()
+            assert (serial[name].mpkis == parallel[name].mpkis).all()
+
+    def test_same_base_seed_same_lab(self):
+        a = MachinePark(n_machines=2, base_seed=5, trace_events=2500)
+        b = MachinePark(n_machines=2, base_seed=5, trace_events=2500)
+        obs_a = a.observe_suite(["456.hmmer"], n_layouts=3)["456.hmmer"]
+        obs_b = b.observe_suite(["456.hmmer"], n_layouts=3)["456.hmmer"]
+        assert (obs_a.cpis == obs_b.cpis).all()
+
+    def test_different_base_seed_different_noise(self):
+        a = MachinePark(n_machines=2, base_seed=5, trace_events=2500)
+        b = MachinePark(n_machines=2, base_seed=6, trace_events=2500)
+        obs_a = a.observe_suite(["456.hmmer"], n_layouts=3)["456.hmmer"]
+        obs_b = b.observe_suite(["456.hmmer"], n_layouts=3)["456.hmmer"]
+        assert not (obs_a.cpis == obs_b.cpis).all()
+
+    def test_heap_randomization_propagates(self, park):
+        results = park.observe_suite(
+            ["454.calculix"], n_layouts=3, randomize_heap=True
+        )
+        observations = results["454.calculix"]
+        assert all(obs.heap_seed is not None for obs in observations)
+
+    def test_negative_workers_rejected(self, park):
+        with pytest.raises(ConfigurationError):
+            park.observe_suite(["456.hmmer"], n_layouts=2, workers=-1)
+
+
+class TestCustomConfig:
+    def test_custom_config_reaches_workers(self):
+        """A park with a custom machine config must measure with it —
+        serially and in worker processes alike."""
+        from repro.machine.config import TimingParameters, XeonE5440Config
+
+        free = XeonE5440Config(
+            timing=TimingParameters(mispredict_penalty=0.0, coupling_mpki_l1d=0.0)
+        )
+        default_park = MachinePark(n_machines=2, base_seed=5, trace_events=2500)
+        free_park = MachinePark(
+            n_machines=2, base_seed=5, config=free, trace_events=2500
+        )
+        baseline = default_park.observe_suite(["445.gobmk"], n_layouts=2)
+        cheap_serial = free_park.observe_suite(["445.gobmk"], n_layouts=2)
+        cheap_parallel = free_park.observe_suite(
+            ["445.gobmk"], n_layouts=2, workers=2
+        )
+        # Zero misprediction penalty lowers CPI...
+        assert cheap_serial["445.gobmk"].cpis.mean() < baseline["445.gobmk"].cpis.mean()
+        # ...and the parallel path uses the same config.
+        assert (
+            cheap_parallel["445.gobmk"].cpis == cheap_serial["445.gobmk"].cpis
+        ).all()

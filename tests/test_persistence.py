@@ -1,0 +1,103 @@
+"""Tests for campaign persistence (JSON / CSV / npz round-trips)."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.persistence import (
+    export_observations_csv,
+    load_observations,
+    load_trace,
+    save_observations,
+    save_trace,
+)
+
+from tests.test_model import _synthetic_observations
+
+
+class TestObservationRoundTrip:
+    def test_json_round_trip_exact(self, tmp_path):
+        original = _synthetic_observations(n=20)
+        path = tmp_path / "obs.json"
+        save_observations(original, path)
+        reloaded = load_observations(path)
+        assert reloaded.benchmark == original.benchmark
+        assert len(reloaded) == len(original)
+        assert (reloaded.cpis == original.cpis).all()
+        assert (reloaded.mpkis == original.mpkis).all()
+        assert (reloaded.series("l2_mpki") == original.series("l2_mpki")).all()
+
+    def test_layout_metadata_preserved(self, tmp_path):
+        original = _synthetic_observations(n=5)
+        path = tmp_path / "obs.json"
+        save_observations(original, path)
+        reloaded = load_observations(path)
+        for a, b in zip(original, reloaded):
+            assert a.layout_index == b.layout_index
+            assert a.layout_seed == b.layout_seed
+            assert a.heap_seed == b.heap_seed
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_observations(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_observations(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99, "benchmark": "x", "observations": []}')
+        with pytest.raises(ReproError, match="version"):
+            load_observations(path)
+
+
+class TestCsvExport:
+    def test_csv_rows(self, tmp_path):
+        observations = _synthetic_observations(n=7)
+        path = tmp_path / "obs.csv"
+        export_observations_csv(observations, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 8  # header + 7
+        header = rows[0]
+        assert "cpi" in header
+        assert "mpki" in header
+        cpi_col = header.index("cpi")
+        values = [float(row[cpi_col]) for row in rows[1:]]
+        assert values == pytest.approx(list(observations.cpis))
+
+
+class TestTraceRoundTrip:
+    def test_npz_round_trip_exact(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.npz"
+        save_trace(tiny_trace, path)
+        reloaded = load_trace(path)
+        assert reloaded.program == tiny_trace.program
+        assert reloaded.seed == tiny_trace.seed
+        assert (reloaded.site_ids == tiny_trace.site_ids).all()
+        assert (reloaded.outcomes == tiny_trace.outcomes).all()
+        assert (reloaded.dacc_offset == tiny_trace.dacc_offset).all()
+        assert (reloaded.activation_start == tiny_trace.activation_start).all()
+        assert reloaded.total_instructions == tiny_trace.total_instructions
+
+    def test_reloaded_trace_usable(self, tmp_path, tiny_spec, tiny_trace, camino, machine):
+        path = tmp_path / "trace.npz"
+        save_trace(tiny_trace, path)
+        reloaded = load_trace(path)
+        exe_a = camino.build(tiny_spec, tiny_trace, layout_seed=1)
+        exe_b = camino.build(tiny_spec, reloaded, layout_seed=1)
+        assert exe_a.fingerprint == exe_b.fingerprint
+        counts_a = machine._oracle_counts(exe_a)
+        counts_b = machine._oracle_counts(exe_b)
+        assert counts_a == counts_b
+
+    def test_missing_trace_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "nope.npz")

@@ -1,0 +1,65 @@
+"""Tests for the Pin-style functional simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pintool.brsim import PinTool
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.perfect import PerfectPredictor
+from repro.uarch.predictors.static import AlwaysTakenPredictor
+
+
+@pytest.fixture(scope="module")
+def exe(camino, tiny_spec, tiny_trace):
+    return camino.build(tiny_spec, tiny_trace, layout_seed=3)
+
+
+class TestPinTool:
+    def test_counts_all_predictors(self, exe):
+        tool = PinTool([BimodalPredictor(64), PerfectPredictor()])
+        results = tool.run(exe)
+        assert set(results) == {"bimodal-64", "perfect"}
+
+    def test_perfect_zero(self, exe):
+        results = PinTool([PerfectPredictor()]).run(exe)
+        assert results["perfect"].mispredicts == 0
+        assert results["perfect"].mpki == 0.0
+        assert results["perfect"].accuracy == 1.0
+
+    def test_no_variance_across_repeats(self, exe):
+        tool = PinTool([BimodalPredictor(64)])
+        a = tool.run(exe)["bimodal-64"]
+        b = tool.run(exe)["bimodal-64"]
+        assert a == b
+
+    def test_branch_count_matches_window(self, exe):
+        tool = PinTool([PerfectPredictor()], warmup_fraction=0.25)
+        result = tool.run(exe)["perfect"]
+        warmup = int(exe.trace.n_events * 0.25)
+        assert result.branches == exe.trace.n_events - warmup
+
+    def test_zero_warmup(self, exe):
+        tool = PinTool([AlwaysTakenPredictor()], warmup_fraction=0.0)
+        result = tool.run(exe)["always-taken"]
+        assert result.branches == exe.trace.n_events
+        assert result.instructions == exe.trace.total_instructions
+
+    def test_mpki_formula(self, exe):
+        result = PinTool([BimodalPredictor(64)]).run(exe)["bimodal-64"]
+        assert result.mpki == pytest.approx(
+            result.mispredicts / result.instructions * 1000.0
+        )
+
+    def test_empty_predictors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinTool([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinTool([BimodalPredictor(64), BimodalPredictor(64)])
+
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinTool([PerfectPredictor()], warmup_fraction=1.0)

@@ -1,0 +1,142 @@
+"""Tests for static, perfect, and bimodal predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.perfect import PerfectPredictor
+from repro.uarch.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+)
+
+
+def _stream(outcomes, pc=0x400000):
+    outcomes = np.array(outcomes, dtype=np.uint8)
+    addresses = np.full(outcomes.shape, pc, dtype=np.int64)
+    return addresses, outcomes
+
+
+class TestStatic:
+    def test_always_taken_counts_not_taken(self):
+        addresses, outcomes = _stream([1, 0, 1, 0, 0])
+        assert AlwaysTakenPredictor().simulate(addresses, outcomes) == 3
+
+    def test_always_not_taken_counts_taken(self):
+        addresses, outcomes = _stream([1, 0, 1, 0, 0])
+        assert AlwaysNotTakenPredictor().simulate(addresses, outcomes) == 2
+
+    def test_complementary(self):
+        rng = np.random.default_rng(0)
+        outcomes = (rng.random(500) < 0.7).astype(np.uint8)
+        addresses = rng.integers(0, 1 << 20, 500)
+        taken = AlwaysTakenPredictor().simulate(addresses, outcomes)
+        not_taken = AlwaysNotTakenPredictor().simulate(addresses, outcomes)
+        assert taken + not_taken == 500
+
+    def test_warmup_excludes_events(self):
+        addresses, outcomes = _stream([0, 0, 0, 0, 1, 1])
+        assert AlwaysTakenPredictor().simulate(addresses, outcomes, warmup=4) == 0
+
+    def test_scalar_interface(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict_and_update(0, 1)
+        assert not predictor.predict_and_update(0, 0)
+
+
+class TestPerfect:
+    def test_zero_mispredicts(self):
+        rng = np.random.default_rng(1)
+        outcomes = (rng.random(200) < 0.5).astype(np.uint8)
+        addresses = rng.integers(0, 1 << 20, 200)
+        assert PerfectPredictor().simulate(addresses, outcomes) == 0
+
+    def test_mpki_zero(self):
+        addresses, outcomes = _stream([1, 0, 1])
+        assert PerfectPredictor().mpki(addresses, outcomes, instructions=100) == 0.0
+
+
+class TestBimodal:
+    def test_learns_strong_bias(self):
+        addresses, outcomes = _stream([1] * 100)
+        # Init is weakly-taken, so an always-taken branch never misses.
+        assert BimodalPredictor(entries=64).simulate(addresses, outcomes) == 0
+
+    def test_learns_not_taken(self):
+        addresses, outcomes = _stream([0] * 100)
+        misses = BimodalPredictor(entries=64).simulate(addresses, outcomes)
+        assert misses <= 2  # counter saturates down after two events
+
+    def test_alternating_is_worst_case(self):
+        addresses, outcomes = _stream([1, 0] * 100)
+        misses = BimodalPredictor(entries=64).simulate(addresses, outcomes)
+        assert misses >= 90  # 2-bit counter mispredicts most alternations
+
+    def test_loop_costs_one_per_trip(self):
+        trip = [1, 1, 1, 1, 0]
+        addresses, outcomes = _stream(trip * 40)
+        misses = BimodalPredictor(entries=64).simulate(addresses, outcomes)
+        # one exit mispredict per trip, small training transient
+        assert 35 <= misses <= 45
+
+    def test_aliasing_hurts(self):
+        rng = np.random.default_rng(2)
+        n = 800
+        # Two branches with opposite biases.
+        outcomes = np.empty(n, dtype=np.uint8)
+        outcomes[0::2] = (rng.random(n // 2) < 0.95).astype(np.uint8)
+        outcomes[1::2] = (rng.random(n // 2) < 0.05).astype(np.uint8)
+        separate = np.empty(n, dtype=np.int64)
+        separate[0::2] = 0x1000
+        separate[1::2] = 0x1010  # distinct table entries
+        aliased = np.empty(n, dtype=np.int64)
+        aliased[0::2] = 0x1000
+        aliased[1::2] = 0x2000  # distinct pcs, same index (entries=1024)
+        predictor = BimodalPredictor(entries=1024)
+        clean = predictor.simulate(separate, outcomes)
+        conflicted = predictor.simulate(aliased, outcomes)
+        assert conflicted > clean * 3
+
+    def test_scalar_equals_batch(self):
+        rng = np.random.default_rng(3)
+        outcomes = (rng.random(300) < 0.6).astype(np.uint8)
+        addresses = rng.integers(0x400000, 0x410000, 300)
+        predictor = BimodalPredictor(entries=256)
+        batch = predictor.simulate(addresses, outcomes)
+        predictor.reset()
+        scalar = sum(
+            0 if predictor.predict_and_update(int(pc), int(outcome)) else 1
+            for pc, outcome in zip(addresses, outcomes)
+        )
+        assert batch == scalar
+
+    def test_warmup_equivalence(self):
+        """simulate(warmup=w) == full run minus warmup-window count."""
+        rng = np.random.default_rng(4)
+        outcomes = (rng.random(400) < 0.7).astype(np.uint8)
+        addresses = rng.integers(0x400000, 0x404000, 400)
+        predictor = BimodalPredictor(entries=128)
+        total = predictor.simulate(addresses, outcomes)
+        head = predictor.simulate(addresses[:100], outcomes[:100])
+        windowed = predictor.simulate(addresses, outcomes, warmup=100)
+        assert windowed == total - head
+
+    def test_negative_warmup_rejected(self):
+        addresses, outcomes = _stream([1, 0])
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor().simulate(addresses, outcomes, warmup=-1)
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(entries=100)
+
+    def test_storage_bits(self):
+        assert BimodalPredictor(entries=1024).storage_bits() == 2048
+
+    def test_mpki_requires_positive_instructions(self):
+        addresses, outcomes = _stream([1])
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor().mpki(addresses, outcomes, instructions=0)

@@ -1,0 +1,175 @@
+"""Tests for gshare, GAs, PAs, hybrid, and perceptron predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.gas import GAsPredictor, gas_family, gas_hybrid_family
+from repro.uarch.predictors.gshare import GsharePredictor
+from repro.uarch.predictors.hybrid import HybridPredictor
+from repro.uarch.predictors.pas import PAsPredictor
+from repro.uarch.predictors.perceptron import PerceptronPredictor
+
+
+def _pattern_stream(pattern, repeats, pc=0x400040):
+    outcomes = np.array(list(pattern) * repeats, dtype=np.uint8)
+    addresses = np.full(outcomes.shape, pc, dtype=np.int64)
+    return addresses, outcomes
+
+
+def _scalar_equals_batch(predictor_factory, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    outcomes = (rng.random(n) < 0.6).astype(np.uint8)
+    addresses = rng.integers(0x400000, 0x408000, n)
+    predictor = predictor_factory()
+    batch = predictor.simulate(addresses, outcomes)
+    scalar_predictor = predictor_factory()
+    scalar_predictor.reset()
+    scalar = sum(
+        0 if scalar_predictor.predict_and_update(int(pc), int(outcome)) else 1
+        for pc, outcome in zip(addresses, outcomes)
+    )
+    assert batch == scalar
+
+
+class TestGshare:
+    def test_learns_repeating_pattern(self):
+        addresses, outcomes = _pattern_stream([1, 1, 0, 0], 200)
+        misses = GsharePredictor(entries=4096, history_bits=6).simulate(
+            addresses, outcomes
+        )
+        # After training, the 4-period pattern is fully captured.
+        assert misses < 40
+
+    def test_bimodal_cannot_learn_it(self):
+        addresses, outcomes = _pattern_stream([1, 1, 0, 0], 200)
+        gshare = GsharePredictor(entries=4096, history_bits=6).simulate(
+            addresses, outcomes
+        )
+        bimodal = BimodalPredictor(entries=4096).simulate(addresses, outcomes)
+        assert gshare < bimodal / 3
+
+    def test_scalar_equals_batch(self):
+        _scalar_equals_batch(lambda: GsharePredictor(entries=512, history_bits=5))
+
+    def test_history_bits_bounds(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+    def test_storage_bits(self):
+        assert GsharePredictor(entries=1024, history_bits=8).storage_bits() == 2056
+
+
+class TestGAs:
+    def test_learns_pattern(self):
+        addresses, outcomes = _pattern_stream([1, 0, 1, 1], 200)
+        misses = GAsPredictor(entries=4096, history_bits=6).simulate(addresses, outcomes)
+        assert misses < 40
+
+    def test_scalar_equals_batch(self):
+        _scalar_equals_batch(lambda: GAsPredictor(entries=1024, history_bits=4))
+
+    def test_history_exceeding_index_rejected(self):
+        with pytest.raises(ValueError):
+            GAsPredictor(entries=256, history_bits=10)
+
+    def test_family_names_and_sizes(self):
+        family = gas_family()
+        assert [p.name for p in family] == ["GAs-2KB", "GAs-4KB", "GAs-8KB", "GAs-16KB"]
+        sizes = [p.storage_bits() for p in family]
+        assert sizes == sorted(sizes)
+
+    def test_hybrid_family_budget_monotone(self):
+        family = gas_hybrid_family()
+        sizes = [p.storage_bits() for p in family]
+        assert sizes == sorted(sizes)
+        assert [p.name for p in family] == ["GAs-2KB", "GAs-4KB", "GAs-8KB", "GAs-16KB"]
+
+
+class TestPAs:
+    def test_learns_local_loop_among_noise(self):
+        """PAs captures a per-branch loop pattern even when another
+        branch pollutes global history."""
+        rng = np.random.default_rng(5)
+        n = 1000
+        outcomes = np.empty(n, dtype=np.uint8)
+        addresses = np.empty(n, dtype=np.int64)
+        # Interleave: loop branch (period 4) and a random branch.
+        loop = ([1, 1, 1, 0] * (n // 8 + 1))[: n // 2]
+        outcomes[0::2] = loop
+        outcomes[1::2] = (rng.random(n // 2) < 0.5).astype(np.uint8)
+        addresses[0::2] = 0x1000
+        addresses[1::2] = 0x2000
+        pas = PAsPredictor(bht_entries=256, pht_entries=8192, history_bits=8)
+        misses = pas.simulate(addresses, outcomes)
+        # The loop half should be almost perfectly predicted; the random
+        # half costs ~50%.
+        assert misses < n // 2 * 0.62
+
+    def test_scalar_equals_batch(self):
+        _scalar_equals_batch(
+            lambda: PAsPredictor(bht_entries=128, pht_entries=2048, history_bits=5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAsPredictor(pht_entries=256, history_bits=10)
+
+
+class TestHybrid:
+    def test_beats_components_on_mixed_workload(self):
+        rng = np.random.default_rng(6)
+        n = 2000
+        outcomes = np.empty(n, dtype=np.uint8)
+        addresses = np.empty(n, dtype=np.int64)
+        # Branch A: biased (bimodal-friendly); branch B: pattern
+        # (global-history-friendly).
+        outcomes[0::2] = (rng.random(n // 2) < 0.98).astype(np.uint8)
+        pattern = ([1, 0, 0, 1] * (n // 8 + 1))[: n // 2]
+        outcomes[1::2] = pattern
+        addresses[0::2] = 0x1000
+        addresses[1::2] = 0x2000
+        hybrid = HybridPredictor(1024, 4096, 8, 1024).simulate(addresses, outcomes)
+        bimodal_only = BimodalPredictor(1024).simulate(addresses, outcomes)
+        assert hybrid < bimodal_only
+
+    def test_scalar_equals_batch(self):
+        _scalar_equals_batch(lambda: HybridPredictor(256, 1024, 6, 256))
+
+    def test_reset_restores_state(self):
+        rng = np.random.default_rng(7)
+        outcomes = (rng.random(300) < 0.7).astype(np.uint8)
+        addresses = rng.integers(0x400000, 0x404000, 300)
+        predictor = HybridPredictor(256, 1024, 6, 256)
+        first = predictor.simulate(addresses, outcomes)
+        second = predictor.simulate(addresses, outcomes)
+        assert first == second  # simulate resets internally
+
+
+class TestPerceptron:
+    def test_learns_linearly_separable_pattern(self):
+        addresses, outcomes = _pattern_stream([1, 0], 300)
+        misses = PerceptronPredictor(entries=64, history_bits=8).simulate(
+            addresses, outcomes
+        )
+        assert misses < 30
+
+    def test_learns_bias(self):
+        addresses, outcomes = _pattern_stream([1], 300)
+        misses = PerceptronPredictor(entries=64, history_bits=8).simulate(
+            addresses, outcomes
+        )
+        assert misses < 5
+
+    def test_threshold_formula(self):
+        predictor = PerceptronPredictor(history_bits=16)
+        assert predictor.threshold == int(1.93 * 16 + 14)
+
+    def test_weights_bounded(self):
+        addresses, outcomes = _pattern_stream([1], 2000)
+        predictor = PerceptronPredictor(entries=16, history_bits=4)
+        predictor.simulate(addresses, outcomes)
+        for weights in predictor._weights:
+            assert all(abs(w) <= predictor.weight_limit for w in weights)

@@ -1,0 +1,101 @@
+"""Cross-module property tests (hypothesis): the invariants the whole
+reproduction rests on, checked over randomized seeds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interferometer import layout_seed
+from repro.machine.system import XeonE5440
+from repro.toolchain.camino import Camino
+from repro.toolchain.linker import link
+from repro.workloads.suite import get_benchmark
+
+from tests.conftest import make_tiny_spec
+
+_CAMINO = Camino()
+_SPEC = make_tiny_spec()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_property_reorder_is_always_linkable(seed):
+    """Every seeded reordering links: all symbols, once, non-overlapping."""
+    objects = _CAMINO.reorder(_SPEC, seed)
+    layout = link(_SPEC, objects)
+    spans = sorted(
+        (int(layout.proc_base[i]), int(layout.proc_base[i]) + proc.size_bytes)
+        for i, proc in enumerate(_SPEC.procedures)
+    )
+    for (lo_a, hi_a), (lo_b, _) in zip(spans, spans[1:]):
+        assert hi_a <= lo_b
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_text_size_layout_invariant(seed):
+    """Total code size never depends on the ordering (modulo alignment)."""
+    baseline = _CAMINO.link_layout(_SPEC, seed=None)
+    reordered = _CAMINO.link_layout(_SPEC, seed=seed)
+    # Alignment padding can differ by at most (alignment-1) per procedure.
+    slack = 16 * len(_SPEC.procedures)
+    assert abs(reordered.text_size - baseline.text_size) <= slack
+
+
+@given(seed_a=st.integers(min_value=0, max_value=500),
+       seed_b=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_property_semantics_layout_invariant(tiny_trace_module, seed_a, seed_b):
+    """Any two layouts retire identical instructions and outcomes."""
+    trace = tiny_trace_module
+    exe_a = _CAMINO.build(_SPEC, trace, layout_seed=seed_a)
+    exe_b = _CAMINO.build(_SPEC, trace, layout_seed=seed_b)
+    assert exe_a.n_instructions == exe_b.n_instructions
+    assert (exe_a.trace.outcomes == exe_b.trace.outcomes).all()
+    assert (exe_a.trace.site_ids == exe_b.trace.site_ids).all()
+
+
+@pytest.fixture(scope="module")
+def tiny_trace_module():
+    from repro.program.tracegen import generate_trace
+
+    return generate_trace(_SPEC, seed=42, n_events=800)
+
+
+@given(index=st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_property_measurement_idempotent(index):
+    """Measuring the same layout twice gives identical counters — the
+    reproducibility claim of §1 ('runs are reproducible')."""
+    from repro.machine.pmc import measure_executable
+
+    machine = XeonE5440(seed=4)
+    benchmark = get_benchmark("456.hmmer")
+    trace = benchmark.trace(2000)
+    camino = Camino()
+    seed = layout_seed(benchmark.name, index)
+    exe_a = camino.build(benchmark.spec, trace, layout_seed=seed)
+    exe_b = camino.build(benchmark.spec, trace, layout_seed=seed)
+    m_a = measure_executable(machine, exe_a)
+    m_b = measure_executable(machine, exe_b)
+    assert dict(m_a.counters) == dict(m_b.counters)
+
+
+@given(warmup_fraction=st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=15, deadline=None)
+def test_property_warmup_monotone(warmup_fraction):
+    """Counting a smaller window never yields more mispredictions."""
+    from repro.uarch.predictors.bimodal import BimodalPredictor
+
+    rng = np.random.default_rng(7)
+    outcomes = (rng.random(600) < 0.7).astype(np.uint8)
+    addresses = rng.integers(0x400000, 0x404000, 600)
+    predictor = BimodalPredictor(256)
+    full = predictor.simulate(addresses, outcomes)
+    warm = predictor.simulate(
+        addresses, outcomes, warmup=int(600 * warmup_fraction)
+    )
+    assert warm <= full

@@ -1,0 +1,144 @@
+"""Tests for the deterministic random streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import RandomStream, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(123)
+        b = RandomStream(123)
+        assert [a.next_u64() for _ in range(50)] == [b.next_u64() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(123)
+        b = RandomStream(124)
+        assert [a.next_u64() for _ in range(10)] != [b.next_u64() for _ in range(10)]
+
+    def test_path_does_not_affect_sequence(self):
+        a = RandomStream(5, path="x")
+        b = RandomStream(5, path="y")
+        assert a.next_u64() == b.next_u64()
+
+    def test_fork_independent_of_consumption(self):
+        a = RandomStream(9)
+        b = RandomStream(9)
+        a.next_u64()  # consume from one parent only
+        assert a.fork("child").next_u64() == b.fork("child").next_u64()
+
+    def test_fork_names_give_distinct_streams(self):
+        root = RandomStream(1)
+        assert root.fork("a").next_u64() != root.fork("b").next_u64()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_derive_seed_distinct_names(self):
+        seeds = {derive_seed(42, f"name{i}") for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_derive_seed_distinct_parents(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestDistributions:
+    def test_uniform_in_unit_interval(self):
+        stream = RandomStream(3)
+        for _ in range(1000):
+            value = stream.uniform()
+            assert 0.0 <= value < 1.0
+
+    def test_uniform_mean_reasonable(self):
+        stream = RandomStream(4)
+        mean = sum(stream.uniform() for _ in range(5000)) / 5000
+        assert 0.45 < mean < 0.55
+
+    def test_randint_bounds(self):
+        stream = RandomStream(5)
+        values = [stream.randint(3, 9) for _ in range(500)]
+        assert min(values) >= 3
+        assert max(values) <= 9
+        assert set(values) == set(range(3, 10))  # all values reachable
+
+    def test_randint_single_value(self):
+        stream = RandomStream(6)
+        assert stream.randint(7, 7) == 7
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).randint(5, 4)
+
+    def test_gauss_moments(self):
+        stream = RandomStream(8)
+        values = [stream.gauss(10.0, 2.0) for _ in range(4000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert abs(mean - 10.0) < 0.15
+        assert abs(var - 4.0) < 0.5
+
+    def test_choice_from_sequence(self):
+        stream = RandomStream(9)
+        items = ["a", "b", "c"]
+        seen = {stream.choice(items) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).choice([])
+
+
+class TestShuffling:
+    def test_shuffle_is_permutation(self):
+        stream = RandomStream(10)
+        items = list(range(20))
+        shuffled = items.copy()
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_permutation_valid(self):
+        perm = RandomStream(11).permutation(15)
+        assert sorted(perm) == list(range(15))
+
+    def test_sample_without_replacement_distinct(self):
+        sample = RandomStream(12).sample_without_replacement(range(100), 30)
+        assert len(sample) == len(set(sample)) == 30
+        assert all(0 <= v < 100 for v in sample)
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).sample_without_replacement(range(3), 4)
+
+    def test_numpy_rng_deterministic(self):
+        a = RandomStream(13).numpy_rng().random(10)
+        b = RandomStream(13).numpy_rng().random(10)
+        assert (a == b).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+@settings(max_examples=50, deadline=None)
+def test_property_uniform_range(seed):
+    stream = RandomStream(seed)
+    for _ in range(20):
+        assert 0.0 <= stream.uniform() < 1.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**63),
+    low=st.integers(min_value=-1000, max_value=1000),
+    span=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_randint_in_bounds(seed, low, span):
+    value = RandomStream(seed).randint(low, low + span)
+    assert low <= value <= low + span
+
+
+@given(seed=st.integers(min_value=0, max_value=2**63), n=st.integers(min_value=0, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_property_permutation(seed, n):
+    assert sorted(RandomStream(seed).permutation(n)) == list(range(n))

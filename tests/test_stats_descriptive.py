@@ -1,0 +1,160 @@
+"""Tests for descriptive statistics and violin profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.stats.descriptive import (
+    gaussian_kde_density,
+    mean,
+    median,
+    percent_deviation_from_mean,
+    percentile,
+    std,
+    summarize,
+    variance,
+    violin_profile,
+)
+
+SAMPLE = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean(SAMPLE) == pytest.approx(5.0)
+
+    def test_population_variance(self):
+        assert variance(SAMPLE, ddof=0) == pytest.approx(4.0)
+
+    def test_sample_variance_vs_numpy(self):
+        assert variance(SAMPLE) == pytest.approx(np.var(SAMPLE, ddof=1))
+
+    def test_std(self):
+        assert std(SAMPLE, ddof=0) == pytest.approx(2.0)
+
+    def test_median_even(self):
+        assert median(SAMPLE) == pytest.approx(4.5)
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_percentile(self):
+        assert percentile(SAMPLE, 0) == pytest.approx(2.0)
+        assert percentile(SAMPLE, 100) == pytest.approx(9.0)
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ModelError):
+            percentile(SAMPLE, 120)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            mean([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelError):
+            mean([1.0, float("nan")])
+
+    def test_variance_needs_two(self):
+        with pytest.raises(ModelError):
+            variance([1.0])
+
+
+class TestDeviation:
+    def test_percent_deviation_centers_on_zero(self):
+        deviations = percent_deviation_from_mean(SAMPLE)
+        assert deviations.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_percent_deviation_values(self):
+        deviations = percent_deviation_from_mean([1.0, 3.0])
+        assert deviations[0] == pytest.approx(-50.0)
+        assert deviations[1] == pytest.approx(50.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ModelError):
+            percent_deviation_from_mean([-1.0, 1.0])
+
+
+class TestSummary:
+    def test_summarize_fields(self):
+        summary = summarize(SAMPLE)
+        assert summary.n == 8
+        assert summary.minimum == 2.0
+        assert summary.maximum == 9.0
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.p25 <= summary.median <= summary.p75
+
+    def test_iqr(self):
+        summary = summarize(SAMPLE)
+        assert summary.iqr == pytest.approx(summary.p75 - summary.p25)
+
+    def test_spread_percent(self):
+        summary = summarize([1.0, 2.0])
+        assert summary.spread_percent == pytest.approx(100.0 / 1.5)
+
+    def test_single_observation(self):
+        summary = summarize([4.2])
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == 4.2
+
+
+class TestKde:
+    def test_density_nonnegative(self):
+        _, density = gaussian_kde_density(SAMPLE)
+        assert (density >= 0.0).all()
+
+    def test_density_integrates_to_one(self):
+        grid, density = gaussian_kde_density(SAMPLE, grid_points=512)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_density_peaks_near_mode(self):
+        grid, density = gaussian_kde_density(SAMPLE, grid_points=256)
+        peak = grid[np.argmax(density)]
+        assert 3.0 < peak < 6.0
+
+    def test_custom_grid_respected(self):
+        grid_in = [0.0, 5.0, 10.0]
+        grid, density = gaussian_kde_density(SAMPLE, grid=grid_in)
+        assert list(grid) == grid_in
+        assert density.shape == (3,)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ModelError):
+            gaussian_kde_density(SAMPLE, bandwidth=0.0)
+
+    def test_constant_sample_does_not_crash(self):
+        grid, density = gaussian_kde_density([5.0, 5.0, 5.0])
+        assert np.isfinite(density).all()
+
+
+class TestViolin:
+    def test_profile_shapes(self):
+        profile = violin_profile(SAMPLE, grid_points=64)
+        assert profile.grid.shape == (64,)
+        assert profile.density.shape == (64,)
+
+    def test_profile_summary_is_deviations(self):
+        profile = violin_profile([1.0, 3.0])
+        assert profile.summary.minimum == pytest.approx(-50.0)
+        assert profile.summary.maximum == pytest.approx(50.0)
+
+    def test_max_abs_deviation(self):
+        profile = violin_profile([1.0, 3.0])
+        assert profile.max_abs_deviation == pytest.approx(50.0)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.5, max_value=100.0, allow_nan=False), min_size=2, max_size=40
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_summary_ordering(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.p25 <= summary.median <= summary.p75 <= summary.maximum
+    tol = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+    assert summary.minimum - tol <= summary.mean <= summary.maximum + tol

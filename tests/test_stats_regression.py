@@ -1,0 +1,185 @@
+"""Tests for simple and multiple least-squares regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.stats.correlation import coefficient_of_determination, pearson_r
+from repro.stats.regression import fit_multiple, fit_simple
+
+
+def _linear_data(slope=2.0, intercept=1.0, n=50, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, n)
+    y = slope * x + intercept + rng.normal(0, noise, n)
+    return x, y
+
+
+class TestSimpleFit:
+    def test_exact_line_recovered(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 3.0 * x + 0.5
+        fit = fit_simple(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_matches_numpy_polyfit(self):
+        x, y = _linear_data(noise=1.0)
+        fit = fit_simple(x, y)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert fit.slope == pytest.approx(slope)
+        assert fit.intercept == pytest.approx(intercept)
+
+    def test_residuals_orthogonal_to_x(self):
+        x, y = _linear_data(noise=2.0, seed=3)
+        fit = fit_simple(x, y)
+        residuals = y - fit.predict_many(x)
+        assert float(np.dot(residuals, x - x.mean())) == pytest.approx(0.0, abs=1e-8)
+
+    def test_residuals_sum_to_zero(self):
+        x, y = _linear_data(noise=2.0, seed=4)
+        fit = fit_simple(x, y)
+        residuals = y - fit.predict_many(x)
+        assert float(residuals.sum()) == pytest.approx(0.0, abs=1e-8)
+
+    def test_r_squared_equals_correlation_squared(self):
+        x, y = _linear_data(noise=3.0, seed=5)
+        fit = fit_simple(x, y)
+        assert fit.r_squared == pytest.approx(coefficient_of_determination(x, y))
+
+    def test_predict(self):
+        x, y = _linear_data(slope=2.0, intercept=1.0, noise=0.0)
+        fit = fit_simple(x, y)
+        assert fit.predict(4.0) == pytest.approx(9.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ModelError):
+            fit_simple([1.0, 2.0], [1.0, 2.0])
+
+    def test_zero_variance_x_rejected(self):
+        with pytest.raises(ModelError):
+            fit_simple([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            fit_simple([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ModelError):
+            fit_simple([1.0, float("nan"), 3.0], [1.0, 2.0, 3.0])
+
+    def test_slope_stderr_positive(self):
+        x, y = _linear_data(noise=1.0)
+        assert fit_simple(x, y).slope_stderr > 0.0
+
+
+class TestMultipleFit:
+    def test_exact_plane_recovered(self):
+        rng = np.random.default_rng(1)
+        x1 = rng.uniform(0, 5, 40)
+        x2 = rng.uniform(0, 5, 40)
+        y = 2.0 * x1 - 1.5 * x2 + 4.0
+        fit = fit_multiple([x1, x2], y, names=["a", "b"])
+        assert fit.intercept == pytest.approx(4.0)
+        assert fit.coefficient("a") == pytest.approx(2.0)
+        assert fit.coefficient("b") == pytest.approx(-1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_matches_numpy_lstsq(self):
+        rng = np.random.default_rng(2)
+        x1 = rng.uniform(0, 5, 60)
+        x2 = rng.uniform(0, 5, 60)
+        y = 1.0 * x1 + 0.5 * x2 + rng.normal(0, 0.5, 60)
+        fit = fit_multiple([x1, x2], y)
+        design = np.column_stack([np.ones(60), x1, x2])
+        beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+        assert np.allclose(fit.coefficients, beta)
+
+    def test_single_column_matches_simple(self):
+        x, y = _linear_data(noise=1.0, seed=6)
+        multi = fit_multiple([x], y)
+        simple = fit_simple(x, y)
+        assert multi.intercept == pytest.approx(simple.intercept)
+        assert float(multi.coefficients[1]) == pytest.approx(simple.slope)
+        assert multi.r_squared == pytest.approx(simple.r_squared)
+
+    def test_collinear_rejected(self):
+        x = np.arange(10, dtype=float)
+        with pytest.raises(ModelError):
+            fit_multiple([x, 2.0 * x], x)
+
+    def test_unknown_regressor_name(self):
+        x, y = _linear_data()
+        fit = fit_multiple([x], y, names=["mpki"])
+        with pytest.raises(ModelError):
+            fit.coefficient("nope")
+
+    def test_predict_requires_k_values(self):
+        x, y = _linear_data()
+        fit = fit_multiple([x], y)
+        with pytest.raises(ModelError):
+            fit.predict([1.0, 2.0])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ModelError):
+            fit_multiple([], [1.0, 2.0, 3.0])
+
+    def test_adding_regressor_never_lowers_r2(self):
+        rng = np.random.default_rng(7)
+        x1 = rng.uniform(0, 5, 50)
+        x2 = rng.uniform(0, 5, 50)
+        y = x1 + rng.normal(0, 1.0, 50)
+        r2_one = fit_multiple([x1], y).r_squared
+        r2_two = fit_multiple([x1, x2], y).r_squared
+        assert r2_two >= r2_one - 1e-12
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_r([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_r([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        x, y = _linear_data(noise=5.0, seed=8)
+        assert pearson_r(x, y) == pytest.approx(float(np.corrcoef(x, y)[0, 1]))
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(ModelError):
+            pearson_r([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            pearson_r([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+@given(
+    slope=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    intercept=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_noiseless_fit_exact(slope, intercept, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-10, 10, 20)
+    if np.std(x) < 1e-6:
+        return
+    y = slope * x + intercept
+    fit = fit_simple(x, y)
+    assert fit.slope == pytest.approx(slope, abs=1e-6, rel=1e-6)
+    assert fit.intercept == pytest.approx(intercept, abs=1e-5, rel=1e-5)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_property_r_bounded(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1, 30)
+    y = rng.normal(0, 1, 30)
+    assert -1.0 <= pearson_r(x, y) <= 1.0

@@ -1,0 +1,189 @@
+"""Tests for the static program structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.program.behavior import BiasedBehavior
+from repro.program.structure import (
+    BranchSite,
+    DataRefSpec,
+    HeapObjectSpec,
+    ProcedureSpec,
+    ProgramSpec,
+    SourceFile,
+)
+
+from tests.conftest import make_tiny_spec
+
+
+def _site(offset=32, gap=5, refs=()):
+    return BranchSite(
+        name=f"s{offset}",
+        offset=offset,
+        behavior=BiasedBehavior(0.8),
+        instr_gap=gap,
+        data_refs=refs,
+    )
+
+
+class TestDataRefSpec:
+    def test_valid_stride(self):
+        ref = DataRefSpec(object_name="o", mode="stride", stride=64, span=1024)
+        assert ref.stride == 64
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            DataRefSpec(object_name="o", mode="weird")
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataRefSpec(object_name="o", mode="stride", stride=0)
+
+    def test_negative_span(self):
+        with pytest.raises(ConfigurationError):
+            DataRefSpec(object_name="o", span=0)
+
+    def test_start_offset_outside_span(self):
+        with pytest.raises(ConfigurationError):
+            DataRefSpec(object_name="o", span=128, start_offset=128)
+
+
+class TestBranchSite:
+    def test_fetch_blocks_cover_gap(self):
+        site = _site(offset=200, gap=20)  # span = 80 bytes
+        blocks = site.fetch_block_offsets()
+        assert blocks == (64, 128, 192)
+
+    def test_fetch_blocks_single(self):
+        site = _site(offset=10, gap=1)
+        assert site.fetch_block_offsets() == (0,)
+
+    def test_fetch_blocks_never_negative(self):
+        site = _site(offset=4, gap=50)
+        assert min(site.fetch_block_offsets()) >= 0
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _site(offset=-1)
+
+    def test_bad_exec_prob(self):
+        with pytest.raises(ConfigurationError):
+            BranchSite(name="x", offset=0, behavior=BiasedBehavior(0.5), exec_prob=0.0)
+
+
+class TestProcedureSpec:
+    def test_size_includes_tail(self):
+        proc = ProcedureSpec(name="p", sites=(_site(32), _site(96)), tail_bytes=40)
+        assert proc.size_bytes == 96 + 40
+
+    def test_unordered_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcedureSpec(name="p", sites=(_site(96), _site(32)))
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcedureSpec(name="p", sites=(_site(32), _site(32)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcedureSpec(name="p", sites=())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcedureSpec(name="p", sites=(_site(),), weight=0.0)
+
+
+class TestSourceFile:
+    def test_duplicate_procedure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceFile(name="f", procedure_names=("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceFile(name="f", procedure_names=())
+
+
+class TestProgramSpec:
+    def test_tiny_spec_valid(self, tiny_spec):
+        assert tiny_spec.n_sites == 18
+        assert len(tiny_spec.procedures) == 6
+
+    def test_site_table_order(self, tiny_spec):
+        table = tiny_spec.site_table()
+        assert len(table) == tiny_spec.n_sites
+        # procedure indices non-decreasing, offsets increasing within proc
+        for (p1, s1), (p2, s2) in zip(table, table[1:]):
+            assert p2 >= p1
+            if p1 == p2:
+                assert s2.offset > s1.offset
+
+    def test_procedure_index(self, tiny_spec):
+        index = tiny_spec.procedure_index
+        assert index["p0"] == 0
+        assert index["p5"] == 5
+
+    def test_object_index(self, tiny_spec):
+        assert tiny_spec.object_index["table"] == 0
+
+    def test_lookup_missing_procedure(self, tiny_spec):
+        with pytest.raises(WorkloadError):
+            tiny_spec.procedure("nope")
+
+    def test_total_code_bytes(self, tiny_spec):
+        assert tiny_spec.total_code_bytes == sum(
+            proc.size_bytes for proc in tiny_spec.procedures
+        )
+
+    def test_files_must_cover_procedures(self):
+        with pytest.raises(ConfigurationError):
+            ProgramSpec(
+                name="bad",
+                procedures=(ProcedureSpec(name="p", sites=(_site(),)),),
+                files=(SourceFile(name="f", procedure_names=("other",)),),
+            )
+
+    def test_unknown_data_object_rejected(self):
+        ref = DataRefSpec(object_name="ghost", span=64)
+        with pytest.raises(ConfigurationError):
+            ProgramSpec(
+                name="bad",
+                procedures=(ProcedureSpec(name="p", sites=(_site(refs=(ref,)),)),),
+                files=(SourceFile(name="f", procedure_names=("p",)),),
+            )
+
+    def test_span_exceeding_object_rejected(self):
+        ref = DataRefSpec(object_name="small", span=4096)
+        with pytest.raises(ConfigurationError):
+            ProgramSpec(
+                name="bad",
+                procedures=(ProcedureSpec(name="p", sites=(_site(refs=(ref,)),)),),
+                files=(SourceFile(name="f", procedure_names=("p",)),),
+                heap_objects=(HeapObjectSpec(name="small", size_bytes=1024),),
+            )
+
+    def test_bad_intrinsic_cpi(self):
+        with pytest.raises(ConfigurationError):
+            make_tiny_spec()  # fine
+            ProgramSpec(
+                name="bad",
+                procedures=(ProcedureSpec(name="p", sites=(_site(),)),),
+                files=(SourceFile(name="f", procedure_names=("p",)),),
+                intrinsic_cpi=0.0,
+            )
+
+
+class TestDigest:
+    def test_digest_stable(self):
+        assert make_tiny_spec().digest == make_tiny_spec().digest
+
+    def test_digest_changes_with_structure(self):
+        a = make_tiny_spec(n_procs=6)
+        b = make_tiny_spec(n_procs=5)
+        assert a.digest != b.digest
+
+    def test_digest_changes_with_heap(self):
+        a = make_tiny_spec(with_heap=True)
+        b = make_tiny_spec(with_heap=False)
+        assert a.digest != b.digest

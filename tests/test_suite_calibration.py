@@ -1,0 +1,99 @@
+"""Suite-level calibration guards.
+
+These tests pin the *shape* of the synthetic suite that every
+experiment depends on (docs/METHODOLOGY.md §4): which benchmarks are
+branchy, which are memory-bound, which are layout-insensitive.  They
+run on the shared test-scale laboratory, so they double as an early
+warning when a personality edit breaks a paper shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+class TestMpkiOrdering:
+    def test_game_tree_search_is_branchiest(self, lab):
+        """gobmk's MPKI tops the integer benchmarks (as on real hardware)."""
+        gobmk = lab.observations("445.gobmk").mpkis.mean()
+        for name in ("456.hmmer", "401.bzip2", "444.namd"):
+            assert gobmk > lab.observations(name).mpkis.mean()
+
+    def test_fp_codes_are_branch_quiet(self, lab):
+        for quiet in ("410.bwaves", "433.milc", "470.lbm"):
+            quiet_mpki = lab.observations(quiet).mpkis.mean()
+            assert quiet_mpki < 4.0
+            assert quiet_mpki < lab.observations("400.perlbench").mpkis.mean() / 3
+
+    def test_suite_mean_mpki_in_paper_band(self, lab):
+        """Paper's real predictor averages 6.3 MPKI; ours must stay the
+        same order of magnitude (we accept roughly 4-16)."""
+        means = [lab.observations(name).mpkis.mean() for name in lab.suite]
+        suite_mean = float(np.mean(means))
+        assert 4.0 < suite_mean < 16.0
+
+
+class TestCpiOrdering:
+    def test_mcf_is_most_memory_bound(self, lab):
+        mcf = lab.observations("429.mcf").cpis.mean()
+        for name in lab.suite:
+            if name != "429.mcf":
+                assert mcf > lab.observations(name).cpis.mean()
+
+    def test_hmmer_is_cheapest(self, lab):
+        """hmmer has the paper's lowest intercept (0.203); it should be
+        among our cheapest benchmarks too."""
+        hmmer = lab.observations("456.hmmer").cpis.mean()
+        cheaper = sum(
+            1
+            for name in lab.suite
+            if lab.observations(name).cpis.mean() < hmmer
+        )
+        assert cheaper <= 2
+
+    def test_suite_mean_cpi_in_paper_band(self, lab):
+        # Paper: 1.387.  The test lab's short (6k-event) traces run the
+        # caches and predictors colder than the experiment scales, so
+        # the accepted band is wide; at small/paper scale the suite
+        # averages ~1.6 (see EXPERIMENTS.md).
+        means = [lab.observations(name).cpis.mean() for name in lab.suite]
+        assert 1.0 < float(np.mean(means)) < 3.5
+
+
+class TestSensitivityShape:
+    def test_sensitive_benchmarks_have_wider_violins(self, lab):
+        def rel_spread(name):
+            cpis = lab.observations(name).cpis
+            return float(cpis.std() / cpis.mean())
+
+        sensitive = np.mean([rel_spread(n) for n in ("445.gobmk", "400.perlbench")])
+        insensitive = np.mean([rel_spread(n) for n in ("470.lbm", "410.bwaves")])
+        assert sensitive > 3 * insensitive
+
+    def test_slopes_cluster_near_penalty(self, lab):
+        """Fitted slopes for well-conditioned benchmarks sit near
+        (penalty x exposure)/1000 — paper's 0.016-0.041 band."""
+        in_band = 0
+        names = lab.significant_benchmarks()
+        for name in names:
+            slope = lab.model(name).slope
+            if 0.005 < slope < 0.06:
+                in_band += 1
+        assert in_band >= len(names) - 2
+
+    def test_branch_density_separates_int_and_fp(self, lab):
+        int_density = lab.benchmark("403.gcc").trace(
+            lab.scale.trace_events
+        ).branch_density_per_kilo_instruction
+        fp_density = lab.benchmark("410.bwaves").trace(
+            lab.scale.trace_events
+        ).branch_density_per_kilo_instruction
+        assert int_density > 1.5 * fp_density
+
+
+class TestInstructionInvariant:
+    @pytest.mark.parametrize("name", ["403.gcc", "470.lbm", "454.calculix"])
+    def test_identical_instructions_across_campaign(self, lab, name):
+        instructions = lab.observations(name).series("instructions")
+        assert len(set(instructions.tolist())) == 1

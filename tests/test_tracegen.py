@@ -1,0 +1,159 @@
+"""Tests for canonical trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.program.tracegen import generate_trace
+
+from tests.conftest import make_tiny_spec
+
+
+class TestGeneration:
+    def test_requested_length(self, tiny_trace):
+        assert tiny_trace.n_events == 1200
+        assert tiny_trace.site_ids.shape == (1200,)
+        assert tiny_trace.outcomes.shape == (1200,)
+
+    def test_deterministic(self, tiny_spec):
+        a = generate_trace(tiny_spec, seed=42, n_events=500)
+        b = generate_trace(tiny_spec, seed=42, n_events=500)
+        assert (a.site_ids == b.site_ids).all()
+        assert (a.outcomes == b.outcomes).all()
+        assert (a.dacc_offset == b.dacc_offset).all()
+        assert (a.iacc_offset == b.iacc_offset).all()
+
+    def test_different_seed_differs(self, tiny_spec):
+        a = generate_trace(tiny_spec, seed=42, n_events=500)
+        b = generate_trace(tiny_spec, seed=43, n_events=500)
+        assert not (
+            (a.site_ids == b.site_ids).all() and (a.outcomes == b.outcomes).all()
+        )
+
+    def test_site_ids_valid(self, tiny_spec, tiny_trace):
+        assert tiny_trace.site_ids.min() >= 0
+        assert tiny_trace.site_ids.max() < tiny_spec.n_sites
+
+    def test_outcomes_binary(self, tiny_trace):
+        assert set(np.unique(tiny_trace.outcomes)) <= {0, 1}
+
+    def test_invalid_length(self, tiny_spec):
+        with pytest.raises(ConfigurationError):
+            generate_trace(tiny_spec, seed=1, n_events=0)
+
+    def test_site_tables_consistent(self, tiny_spec, tiny_trace):
+        table = tiny_spec.site_table()
+        for gid, (proc_idx, site) in enumerate(table):
+            assert tiny_trace.site_proc[gid] == proc_idx
+            assert tiny_trace.site_offset[gid] == site.offset
+            assert tiny_trace.site_instr_gap[gid] == site.instr_gap
+
+
+class TestInstructionAccounting:
+    def test_total_instructions(self, tiny_trace):
+        gaps = tiny_trace.site_instr_gap[tiny_trace.site_ids]
+        assert tiny_trace.total_instructions == int(gaps.sum()) + tiny_trace.n_events
+
+    def test_instructions_up_to(self, tiny_trace):
+        assert tiny_trace.instructions_up_to(0) == 0
+        assert (
+            tiny_trace.instructions_up_to(tiny_trace.n_events)
+            == tiny_trace.total_instructions
+        )
+        mid = tiny_trace.instructions_up_to(600)
+        assert 0 < mid < tiny_trace.total_instructions
+
+    def test_instructions_monotonic(self, tiny_trace):
+        values = [tiny_trace.instructions_up_to(k) for k in range(0, 1200, 100)]
+        assert values == sorted(values)
+
+    def test_instructions_before_event(self, tiny_trace):
+        before = tiny_trace.instructions_before_event
+        assert before[0] == 0
+        assert (np.diff(before) > 0).all()
+
+    def test_branch_density(self, tiny_trace):
+        density = tiny_trace.branch_density_per_kilo_instruction
+        # instr_gap=5 everywhere -> 1 branch per 6 instructions.
+        assert density == pytest.approx(1000.0 / 6.0, rel=0.01)
+
+
+class TestAccessStreams:
+    def test_iacc_events_sorted(self, tiny_trace):
+        assert (np.diff(tiny_trace.iacc_event) >= 0).all()
+
+    def test_dacc_events_sorted(self, tiny_trace):
+        assert (np.diff(tiny_trace.dacc_event) >= 0).all()
+
+    def test_iacc_events_in_range(self, tiny_trace):
+        assert tiny_trace.iacc_event.min() >= 0
+        assert tiny_trace.iacc_event.max() < tiny_trace.n_events
+
+    def test_every_event_fetches(self, tiny_trace):
+        # Each branch event touches at least one fetch block.
+        assert len(np.unique(tiny_trace.iacc_event)) == tiny_trace.n_events
+
+    def test_dacc_objects_valid(self, tiny_spec, tiny_trace):
+        if tiny_trace.dacc_obj.size:
+            assert tiny_trace.dacc_obj.min() >= 0
+            assert tiny_trace.dacc_obj.max() < len(tiny_spec.heap_objects)
+
+    def test_dacc_offsets_within_objects(self, tiny_spec, tiny_trace):
+        sizes = np.array([obj.size_bytes for obj in tiny_spec.heap_objects])
+        assert (tiny_trace.dacc_offset >= 0).all()
+        assert (tiny_trace.dacc_offset < sizes[tiny_trace.dacc_obj]).all()
+
+    def test_dacc_offsets_aligned(self, tiny_trace):
+        assert (tiny_trace.dacc_offset % 8 == 0).all()
+
+
+class TestActivations:
+    def test_activation_bounds(self, tiny_trace):
+        starts = tiny_trace.activation_start
+        assert starts[0] == 0
+        assert starts[-1] == tiny_trace.n_events
+        assert (np.diff(starts) >= 0).all()
+
+    def test_activation_procs_valid(self, tiny_spec, tiny_trace):
+        assert tiny_trace.activation_proc.min() >= 0
+        assert tiny_trace.activation_proc.max() < len(tiny_spec.procedures)
+
+    def test_events_belong_to_activation_proc(self, tiny_trace):
+        starts = tiny_trace.activation_start
+        for k in range(min(50, len(tiny_trace.activation_proc))):
+            lo, hi = starts[k], starts[k + 1]
+            if hi > lo:
+                procs = tiny_trace.site_proc[tiny_trace.site_ids[lo:hi]]
+                assert (procs == tiny_trace.activation_proc[k]).all()
+
+
+class TestTruncation:
+    def test_truncated_lengths(self, tiny_trace):
+        short = tiny_trace.truncated(700)
+        assert short.n_events == 700
+        assert short.site_ids.shape == (700,)
+        assert (short.site_ids == tiny_trace.site_ids[:700]).all()
+
+    def test_truncated_access_streams_filtered(self, tiny_trace):
+        short = tiny_trace.truncated(700)
+        assert short.iacc_event.max() < 700
+        if short.dacc_event.size:
+            assert short.dacc_event.max() < 700
+
+    def test_truncated_activations(self, tiny_trace):
+        short = tiny_trace.truncated(700)
+        assert short.activation_start[-1] == 700
+        assert (short.activation_start[:-1] < 700).all()
+
+    def test_truncate_beyond_length_is_identity(self, tiny_trace):
+        assert tiny_trace.truncated(10_000) is tiny_trace
+
+    def test_truncate_to_zero_rejected(self, tiny_trace):
+        with pytest.raises(ConfigurationError):
+            tiny_trace.truncated(0)
+
+    def test_truncated_instructions_consistent(self, tiny_trace):
+        short = tiny_trace.truncated(700)
+        assert short.total_instructions == tiny_trace.instructions_up_to(700)

@@ -1,0 +1,64 @@
+"""Tests for the self-test battery and the suite describer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.validation import CHECKS, render_selftest, run_selftest
+from repro.workloads.describe import describe_benchmark, describe_suite
+from repro.workloads.describe import main as describe_main
+
+
+class TestSelftest:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_selftest()
+
+    def test_all_checks_pass(self, results):
+        failed = [r for r in results if not r.passed]
+        assert not failed, f"failing checks: {[(r.name, r.detail) for r in failed]}"
+
+    def test_covers_all_registered_checks(self, results):
+        assert {r.name for r in results} == set(CHECKS)
+
+    def test_render(self, results):
+        text = render_selftest(results)
+        assert "6/6 checks passed" in text
+        assert "FAIL" not in text
+
+    def test_render_failure_marked(self):
+        from repro.validation import CheckResult
+
+        text = render_selftest(
+            [CheckResult(name="x", passed=False, detail="boom")]
+        )
+        assert "FAIL" in text
+        assert "INSTALLATION BROKEN" in text
+
+    def test_cli_flag(self, capsys):
+        assert main(["--selftest"]) == 0
+        assert "checks passed" in capsys.readouterr().out
+
+
+class TestDescribe:
+    def test_suite_table(self):
+        text = describe_suite()
+        assert "400.perlbench" in text
+        assert "483.xalancbmk" in text
+        assert text.count("\n") >= 24  # header + 23 rows
+
+    def test_single_benchmark(self):
+        text = describe_benchmark("429.mcf")
+        assert "429.mcf" in text
+        assert "behaviour mix" in text
+        assert "working sets" in text
+
+    def test_mase_only_benchmark(self):
+        assert "252.eon" in describe_benchmark("252.eon")
+
+    def test_main_entry(self, capsys):
+        assert describe_main([]) == 0
+        assert "Synthetic SPEC" in capsys.readouterr().out
+        assert describe_main(["470.lbm"]) == 0
+        assert "lattice Boltzmann" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Tests for the synthetic SPEC CPU 2006 suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import build_spec
+from repro.workloads.params import (
+    MASE_BENCHMARKS,
+    MASE_EXTRA,
+    PERSONALITIES,
+)
+from repro.workloads.suite import get_benchmark, mase_suite, spec2006
+
+
+class TestSuiteRegistry:
+    def test_twenty_three_benchmarks(self):
+        assert len(PERSONALITIES) == 23
+        assert len(spec2006()) == 23
+
+    def test_expected_names_present(self):
+        for name in ("400.perlbench", "429.mcf", "471.omnetpp", "483.xalancbmk"):
+            assert name in PERSONALITIES
+
+    def test_three_insensitive(self):
+        insensitive = [p for p in PERSONALITIES.values() if not p.expected_significant]
+        assert {p.name for p in insensitive} == {"410.bwaves", "433.milc", "470.lbm"}
+
+    def test_mase_suite(self):
+        suite = mase_suite()
+        assert len(suite) == len(MASE_BENCHMARKS) == 14
+        assert "252.eon" in suite
+        assert "178.galgel" in suite
+        assert "458.sjeng" in suite
+
+    def test_mase_extra_not_in_main_suite(self):
+        assert not set(MASE_EXTRA) & set(PERSONALITIES)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("999.nope")
+
+    def test_get_benchmark_mase_only(self):
+        assert get_benchmark("252.eon").name == "252.eon"
+
+
+class TestGeneration:
+    def test_spec_deterministic(self):
+        a = build_spec(PERSONALITIES["401.bzip2"])
+        b = build_spec(PERSONALITIES["401.bzip2"])
+        assert a.digest == b.digest
+
+    def test_different_benchmarks_differ(self):
+        a = build_spec(PERSONALITIES["401.bzip2"])
+        b = build_spec(PERSONALITIES["403.gcc"])
+        assert a.digest != b.digest
+
+    def test_spec_matches_personality(self):
+        for name in ("400.perlbench", "429.mcf"):
+            personality = PERSONALITIES[name]
+            spec = build_spec(personality)
+            assert len(spec.procedures) == personality.n_procedures
+            assert len(spec.files) == personality.n_files
+            assert len(spec.heap_objects) == personality.n_heap_objects
+            lo, hi = personality.sites_per_proc
+            for proc in spec.procedures:
+                assert lo <= len(proc.sites) <= hi
+
+    def test_all_personalities_generate(self):
+        for name, personality in list(PERSONALITIES.items()) + list(MASE_EXTRA.items()):
+            spec = build_spec(personality)
+            assert spec.n_sites > 0, name
+
+    def test_intrinsic_cpi_propagated(self):
+        spec = build_spec(PERSONALITIES["429.mcf"])
+        assert spec.intrinsic_cpi == PERSONALITIES["429.mcf"].intrinsic_cpi
+
+
+class TestTraces:
+    def test_trace_cached(self, perlbench):
+        assert perlbench.trace(1000) is perlbench.trace(1000)
+
+    def test_different_lengths_not_confused(self, perlbench):
+        assert perlbench.trace(1000).n_events == 1000
+        assert perlbench.trace(1500).n_events == 1500
+
+    def test_trace_shared_across_instances(self):
+        a = get_benchmark("445.gobmk").trace(800)
+        b = get_benchmark("445.gobmk").trace(800)
+        assert a is b
+
+    def test_trace_seed_per_benchmark(self):
+        assert (
+            get_benchmark("445.gobmk").trace_seed
+            != get_benchmark("403.gcc").trace_seed
+        )
+
+    def test_branch_density_plausible(self, perlbench):
+        trace = perlbench.trace(2000)
+        density = trace.branch_density_per_kilo_instruction
+        assert 80 < density < 250  # integer-code-like
+
+
+class TestCalibration:
+    def test_fp_benchmarks_low_mpki_structure(self):
+        """The insensitive FP benchmarks have mostly trivial branches."""
+        for name in ("410.bwaves", "470.lbm"):
+            mix = PERSONALITIES[name].mix
+            trivial = mix.get("very_easy", 0) + mix.get("loop_long", 0)
+            assert trivial / sum(mix.values()) > 0.9
+
+    def test_nonlinear_mase_couplings(self):
+        assert MASE_EXTRA["178.galgel"].wrongpath_coupling > MASE_EXTRA[
+            "458.sjeng"
+        ].wrongpath_coupling
+        assert MASE_EXTRA["252.eon"].wrongpath_coupling > PERSONALITIES[
+            "473.astar"
+        ].wrongpath_coupling
+
+    def test_memory_bound_benchmarks_high_cpi(self):
+        assert PERSONALITIES["429.mcf"].intrinsic_cpi > PERSONALITIES[
+            "456.hmmer"
+        ].intrinsic_cpi
