@@ -41,12 +41,15 @@ from repro.machine.counters import Counter
 from repro.mase import LinearityStudy, MaseSimulator
 from repro.pintool import PinTool
 from repro.persistence import (
+    CampaignProvenance,
     export_observations_csv,
+    load_campaign,
     load_observations,
     load_trace,
     save_observations,
     save_trace,
 )
+from repro.store import CampaignKey, CampaignStore
 from repro.stats.bootstrap import bootstrap_interval, bootstrap_regression_prediction
 from repro.toolchain import Camino, Executable
 from repro.toolchain.placement import ConflictAvoidingPlacer, hot_grouping_order
@@ -76,6 +79,9 @@ __all__ = [
     "BlameAnalysis",
     "BranchPredictor",
     "Camino",
+    "CampaignKey",
+    "CampaignProvenance",
+    "CampaignStore",
     "ConflictAvoidingPlacer",
     "Counter",
     "DieHardAllocator",
@@ -106,6 +112,7 @@ __all__ = [
     "get_benchmark",
     "hot_grouping_order",
     "layout_seed",
+    "load_campaign",
     "load_observations",
     "load_trace",
     "mase_suite",

@@ -5,15 +5,18 @@ Usage::
     repro-interferometry --list
     repro-interferometry fig2 table1
     REPRO_SCALE=paper repro-interferometry all
+    repro-interferometry all --workers 4 --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable
 
+from repro.errors import ReproError
 from repro.harness import SCALES, Laboratory, get_lab
 from repro.harness import (  # noqa: F401 - imported for registry
     extended,
@@ -29,6 +32,8 @@ from repro.harness import (  # noqa: F401 - imported for registry
     significance,
     table1,
 )
+from repro.harness.extended import STUDY_BENCHMARKS
+from repro.workloads.params import CACHE_STUDY_BENCHMARK, FIGURE2_BENCHMARKS
 
 #: Experiment registry: name -> regenerator.
 EXPERIMENTS: dict[str, Callable[[Laboratory], object]] = {
@@ -45,6 +50,45 @@ EXPERIMENTS: dict[str, Callable[[Laboratory], object]] = {
     "headline": headline.run,
     "extended": extended.run,
 }
+
+#: Interferometry campaigns each experiment consumes, for ``--workers``
+#: prefetching: ``"suite"`` = every suite benchmark; a list = just
+#: those; key ``heap`` = campaigns with heap randomization.  Figures 4
+#: and 5 are MASE-only and need no campaigns.
+EXPERIMENT_CAMPAIGNS: dict[str, dict[str, object]] = {
+    "fig1": {"code": "suite"},
+    "fig2": {"code": list(FIGURE2_BENCHMARKS)},
+    "fig3": {"heap": [CACHE_STUDY_BENCHMARK]},
+    "fig4": {},
+    "fig5": {},
+    "fig6": {"code": "suite"},
+    "fig7": {"code": "suite"},
+    "fig8": {"code": "suite"},
+    "table1": {"code": "suite"},
+    "significance": {"code": "suite"},
+    "headline": {"code": ["400.perlbench"]},
+    "extended": {"code": list(STUDY_BENCHMARKS)},
+}
+
+
+def _campaigns_needed(names: list[str]) -> tuple[list[str] | None, list[str]]:
+    """Union of (code, heap) campaigns the named experiments consume.
+
+    The first element is ``None`` when any experiment needs the whole
+    suite (prefetch everything), else the explicit benchmark list.
+    """
+    code: dict[str, None] = {}
+    heap: dict[str, None] = {}
+    suite_wide = False
+    for name in names:
+        needs = EXPERIMENT_CAMPAIGNS.get(name, {})
+        for kind, target in (("code", code), ("heap", heap)):
+            wanted = needs.get(kind)
+            if wanted == "suite":
+                suite_wide = True
+            elif wanted:
+                target.update(dict.fromkeys(wanted))
+    return (None if suite_wide else list(code)), list(heap)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,7 +113,27 @@ def main(argv: list[str] | None = None) -> int:
         "--export",
         metavar="DIR",
         default=None,
-        help="after running, export every figure's plottable series as CSV",
+        help="after running, export the run experiments' plottable series as CSV",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan suite campaigns out over N worker processes "
+        "(0 = serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="disk-backed campaign store: measured campaigns are persisted "
+        "and reused across invocations (default: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir / $REPRO_CACHE_DIR and always measure",
     )
     parser.add_argument(
         "--selftest",
@@ -86,6 +150,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(r.passed for r in results) else 1
 
     if args.list or not args.experiments:
+        if args.export and not args.list:
+            print(
+                "error: --export needs experiment names to run "
+                "(e.g. 'repro-interferometry all --export DIR')",
+                file=sys.stderr,
+            )
+            return 2
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
@@ -97,22 +168,74 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
 
-    lab = Laboratory(scale=SCALES[args.scale]) if args.scale else get_lab()
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        if args.scale or cache_dir or args.workers:
+            lab = Laboratory(
+                scale=SCALES[args.scale] if args.scale else None,
+                cache_dir=cache_dir,
+                workers=args.workers,
+            )
+        else:
+            lab = get_lab()
+        return _run(lab, names, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
+    """Drive the selected experiments through a configured laboratory."""
+    lab.on_campaign = lambda record: print(f"  {record.render()}", flush=True)
     print(f"scale: {lab.scale.name} ({lab.scale.n_layouts} layouts, "
           f"{lab.scale.trace_events} trace events)")
+    if lab.store is not None:
+        print(f"campaign store: {lab.store.root}")
+
+    if args.workers > 0:
+        code_names, heap_names = _campaigns_needed(names)
+        if code_names is None or code_names:
+            lab.prefetch(code_names, heap=False)
+        if heap_names:
+            lab.prefetch(heap_names, heap=True)
+
     for name in names:
         start = time.time()
         result = EXPERIMENTS[name](lab)
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
         print(result.render())
-    if args.export:
-        from repro.harness.export import export_all
 
-        paths = export_all(lab, args.export)
+    _print_summary(lab)
+
+    if args.export:
+        from repro.harness.export import export_experiments
+
+        paths = export_experiments(lab, names, args.export)
         print(f"\nexported {len(paths)} CSV files to {args.export}/")
     return 0
+
+
+def _print_summary(lab: Laboratory) -> None:
+    """Campaign/cache accounting printed after every run."""
+    log = lab.campaign_log
+    if not log:
+        return
+    measured = sum(record.measured for record in log)
+    seconds = sum(record.seconds for record in log if record.measured)
+    rate = f" ({measured / seconds:.1f} layouts/s)" if seconds > 0 else ""
+    from_cache = sum(1 for record in log if record.measured == 0)
+    print(
+        f"\ncampaigns: {len(log)} served ({from_cache} from cache, "
+        f"{len(log) - from_cache} measured); "
+        f"{measured} layouts measured{rate}"
+    )
+    if lab.store is not None:
+        print(f"campaign store: {lab.store.stats.summary()}")
 
 
 if __name__ == "__main__":

@@ -10,12 +10,42 @@ discard any data: we use the data from each reordering."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
 from repro.core.observations import ObservationSet
 from repro.errors import ConfigurationError
 from repro.workloads.suite import Benchmark
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store import CampaignStore
+
+
+def _resume_campaign(
+    interferometer: Interferometer,
+    benchmark: Benchmark,
+    store: "CampaignStore | None",
+    max_samples: int,
+) -> tuple[ObservationSet, Callable[[ObservationSet], None] | None]:
+    """The cached campaign prefix (if any) and its incremental sink.
+
+    With a store, escalation resumes from whatever was already measured
+    and persists every newly appended layout as soon as it completes;
+    without one, it starts empty and keeps nothing.
+    """
+    observations = ObservationSet(benchmark=benchmark.name)
+    if store is None:
+        return observations, None
+    from repro.store import CampaignKey
+
+    key = CampaignKey.for_interferometer(interferometer, benchmark.name)
+    stored = store.load(key)
+    if stored is not None:
+        observations.extend(stored.observations[:max_samples])
+        store.stats.hits += 1
+        store.stats.layouts_loaded += len(observations)
+    return observations, store.sink(key)
 
 
 @dataclass(frozen=True)
@@ -47,6 +77,9 @@ class SampleEscalation:
         Give-up threshold (300 in the paper: "a few require 300").
     alpha:
         Significance level.
+    store:
+        Optional campaign store: escalation resumes from the cached
+        campaign and persists every appended layout incrementally.
     """
 
     def __init__(
@@ -57,6 +90,7 @@ class SampleEscalation:
         alpha: float = 0.05,
         x_metric: str = "mpki",
         y_metric: str = "cpi",
+        store: "CampaignStore | None" = None,
     ) -> None:
         if batch <= 0 or max_samples < batch:
             raise ConfigurationError(
@@ -68,22 +102,31 @@ class SampleEscalation:
         self.alpha = alpha
         self.x_metric = x_metric
         self.y_metric = y_metric
+        self.store = store
+
+    def _test_round(self, observations: ObservationSet) -> tuple[float, bool]:
+        model = PerformanceModel.from_observations(
+            observations, x_metric=self.x_metric, y_metric=self.y_metric
+        )
+        test = model.significance()
+        return test.p_value, test.rejects_null(self.alpha)
 
     def run(self, benchmark: Benchmark) -> EscalationResult:
         """Escalate sampling for one benchmark; keep all data."""
-        observations = ObservationSet(benchmark=benchmark.name)
+        observations, sink = _resume_campaign(
+            self.interferometer, benchmark, self.store, self.max_samples
+        )
         p_values: list[float] = []
         significant = False
-        while len(observations) < self.max_samples:
-            self.interferometer.extend(benchmark, observations, self.batch)
-            model = PerformanceModel.from_observations(
-                observations, x_metric=self.x_metric, y_metric=self.y_metric
-            )
-            test = model.significance()
-            p_values.append(test.p_value)
-            if test.rejects_null(self.alpha):
-                significant = True
-                break
+        if len(observations) >= 3:
+            # Cached prefix: test it before measuring anything new.
+            p_value, significant = self._test_round(observations)
+            p_values.append(p_value)
+        while not significant and len(observations) < self.max_samples:
+            n_more = min(self.batch, self.max_samples - len(observations))
+            self.interferometer.extend(benchmark, observations, n_more, sink=sink)
+            p_value, significant = self._test_round(observations)
+            p_values.append(p_value)
         return EscalationResult(
             benchmark=benchmark.name,
             observations=observations,
@@ -120,6 +163,7 @@ class PrecisionEscalation:
         max_samples: int = 400,
         target_percent_half_width: float = 3.0,
         x0: float = 0.0,
+        store: "CampaignStore | None" = None,
     ) -> None:
         if batch <= 0 or max_samples < batch:
             raise ConfigurationError(
@@ -134,21 +178,31 @@ class PrecisionEscalation:
         self.max_samples = max_samples
         self.target_percent_half_width = target_percent_half_width
         self.x0 = x0
+        self.store = store
+
+    def _half_width_round(self, observations: ObservationSet) -> float:
+        model = PerformanceModel.from_observations(observations)
+        prediction = model.predict(self.x0)
+        return prediction.prediction.percent_half_width
 
     def run(self, benchmark: Benchmark) -> PrecisionResult:
         """Sample until the PI at ``x0`` is tight enough, or give up."""
-        observations = ObservationSet(benchmark=benchmark.name)
+        observations, sink = _resume_campaign(
+            self.interferometer, benchmark, self.store, self.max_samples
+        )
         half_widths: list[float] = []
         achieved = False
-        while len(observations) < self.max_samples:
-            self.interferometer.extend(benchmark, observations, self.batch)
-            model = PerformanceModel.from_observations(observations)
-            prediction = model.predict(self.x0)
-            percent = prediction.prediction.percent_half_width
+        if len(observations) >= 3:
+            percent = self._half_width_round(observations)
+            half_widths.append(percent)
+            achieved = percent <= self.target_percent_half_width
+        while not achieved and len(observations) < self.max_samples:
+            n_more = min(self.batch, self.max_samples - len(observations))
+            self.interferometer.extend(benchmark, observations, n_more, sink=sink)
+            percent = self._half_width_round(observations)
             half_widths.append(percent)
             if percent <= self.target_percent_half_width:
                 achieved = True
-                break
         return PrecisionResult(
             benchmark=benchmark.name,
             observations=observations,

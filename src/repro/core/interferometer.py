@@ -131,10 +131,25 @@ class Interferometer:
         return observations
 
     def extend(
-        self, benchmark: Benchmark, observations: ObservationSet, n_more: int
+        self,
+        benchmark: Benchmark,
+        observations: ObservationSet,
+        n_more: int,
+        sink: Callable[[ObservationSet], None] | None = None,
+        progress: Callable[[int, int], None] | None = None,
     ) -> ObservationSet:
-        """Append *n_more* fresh layouts to an existing observation set."""
+        """Append *n_more* fresh layouts to an existing observation set.
+
+        ``sink`` is called with the growing set after every appended
+        layout, so a campaign store can persist extensions incrementally
+        (§6.3 escalation never loses completed measurements, even if a
+        later layout is interrupted).
+        """
         start = len(observations)
         for i in range(start, start + n_more):
             observations.append(self.observe_one(benchmark, i))
+            if sink is not None:
+                sink(observations)
+            if progress is not None:
+                progress(i - start + 1, n_more)
         return observations

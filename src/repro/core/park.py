@@ -72,6 +72,11 @@ class MachinePark:
         equal base seeds are the same lab.
     config:
         Shared machine configuration ("identical configurations").
+    machine_seeds:
+        Explicit machine identities; overrides ``n_machines`` and
+        ``base_seed`` derivation.  A single-seed park reproduces a
+        :class:`~repro.harness.lab.Laboratory`'s one-machine setup, so
+        fanned-out campaigns stay bit-identical to its serial ones.
     """
 
     def __init__(
@@ -81,11 +86,17 @@ class MachinePark:
         config: XeonE5440Config | None = None,
         trace_events: int = 20000,
         runs_per_group: int = 5,
+        machine_seeds: Sequence[int] | None = None,
     ) -> None:
+        if machine_seeds is not None:
+            n_machines = len(machine_seeds)
         if n_machines <= 0:
             raise ConfigurationError(f"need at least one machine, got {n_machines}")
         self.n_machines = n_machines
         self.base_seed = base_seed
+        self._machine_seeds = (
+            None if machine_seeds is None else tuple(machine_seeds)
+        )
         self.config = config if config is not None else XeonE5440Config()
         self.trace_events = trace_events
         self.runs_per_group = runs_per_group
@@ -100,6 +111,8 @@ class MachinePark:
             raise ConfigurationError(
                 f"machine index {index} out of range [0, {self.n_machines})"
             )
+        if self._machine_seeds is not None:
+            return self._machine_seeds[index]
         return derive_seed(self.base_seed, f"machine/{index}")
 
     def machine_for(self, benchmark_name: str) -> int:
@@ -116,28 +129,48 @@ class MachinePark:
         n_layouts: int = 100,
         randomize_heap: bool = False,
         workers: int = 0,
+        start_indices: Mapping[str, int] | None = None,
     ) -> Mapping[str, ObservationSet]:
         """Run full campaigns for several benchmarks across the park.
 
         ``workers=0`` runs serially in-process; ``workers=k`` fans the
         per-benchmark campaigns out over *k* worker processes.  Results
         are identical either way.
+
+        ``start_indices`` maps benchmark names to already-measured
+        layout counts: each campaign measures layouts
+        ``[start, n_layouts)`` only, so callers resuming from a
+        persisted prefix get exactly the missing suffix back.
         """
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         names = [b if isinstance(b, str) else b.name for b in benchmarks]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate benchmarks in suite campaign: {duplicates}; "
+                "each benchmark's campaign must be requested once"
+            )
+        starts = {} if start_indices is None else dict(start_indices)
+        for name, start in starts.items():
+            if not 0 <= start <= n_layouts:
+                raise ConfigurationError(
+                    f"start index {start} for {name!r} out of range "
+                    f"[0, {n_layouts}]"
+                )
         specs = [
             _CampaignSpec(
                 benchmark_name=name,
                 machine_seed=self.machine_seed(self.machine_for(name)),
                 machine_config=self.config,
                 trace_events=self.trace_events,
-                n_layouts=n_layouts,
-                start_index=0,
+                n_layouts=n_layouts - starts.get(name, 0),
+                start_index=starts.get(name, 0),
                 randomize_heap=randomize_heap,
                 runs_per_group=self.runs_per_group,
             )
             for name in names
+            if n_layouts - starts.get(name, 0) > 0
         ]
         if workers == 0:
             slices = [_run_campaign(spec) for spec in specs]
@@ -145,8 +178,8 @@ class MachinePark:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 slices = list(pool.map(_run_campaign, specs))
         results: dict[str, ObservationSet] = {}
-        for name, observations in zip(names, slices):
-            observation_set = ObservationSet(benchmark=name)
+        for spec, observations in zip(specs, slices):
+            observation_set = ObservationSet(benchmark=spec.benchmark_name)
             observation_set.extend(observations)
-            results[name] = observation_set
+            results[spec.benchmark_name] = observation_set
         return results

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Sequence
 
 from repro.harness import (
     fig1,
@@ -187,16 +188,44 @@ def export_table1(lab: Laboratory, directory: Path) -> Path:
     return path
 
 
-def export_all(lab: Laboratory, directory: str | Path) -> list[Path]:
-    """Export every figure's and table's series; returns written paths."""
+#: Exporter per experiment name.  Shared figures (4/5, 7/8) map to the
+#: same function; :func:`export_experiments` deduplicates at call time.
+EXPORTERS = {
+    "fig1": export_fig1,
+    "fig2": export_fig2,
+    "fig3": export_fig3,
+    "fig4": export_fig4_fig5,
+    "fig5": export_fig4_fig5,
+    "fig6": export_fig6,
+    "fig7": export_fig7_fig8,
+    "fig8": export_fig7_fig8,
+    "table1": export_table1,
+}
+
+
+def export_experiments(
+    lab: Laboratory, names: Sequence[str], directory: str | Path
+) -> list[Path]:
+    """Export the plottable series of the named experiments only.
+
+    Experiments without plottable series (``significance``,
+    ``headline``, ``extended``) are skipped; names sharing an exporter
+    are exported once.  Returns the written paths.
+    """
     out = Path(directory)
     out.mkdir(parents=True, exist_ok=True)
     paths: list[Path] = []
-    paths.append(export_fig1(lab, out))
-    paths.extend(export_fig2(lab, out))
-    paths.append(export_fig3(lab, out))
-    paths.extend(export_fig4_fig5(lab, out))
-    paths.append(export_fig6(lab, out))
-    paths.extend(export_fig7_fig8(lab, out))
-    paths.append(export_table1(lab, out))
+    seen: set = set()
+    for name in names:
+        exporter = EXPORTERS.get(name)
+        if exporter is None or exporter in seen:
+            continue
+        seen.add(exporter)
+        written = exporter(lab, out)
+        paths.extend(written if isinstance(written, list) else [written])
     return paths
+
+
+def export_all(lab: Laboratory, directory: str | Path) -> list[Path]:
+    """Export every figure's and table's series; returns written paths."""
+    return export_experiments(lab, list(EXPORTERS), directory)

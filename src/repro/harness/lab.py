@@ -9,14 +9,19 @@ test runs.  Select with the ``REPRO_SCALE`` environment variable.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
 
 from repro.core.evaluate import PredictorEvaluation, PredictorEvaluator
 from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
-from repro.core.observations import ObservationSet
-from repro.errors import ConfigurationError
+from repro.core.observations import Observation, ObservationSet
+from repro.core.park import MachinePark
+from repro.errors import ConfigurationError, ModelError
 from repro.machine.system import XeonE5440
+from repro.store import CampaignKey, CampaignStore
 from repro.uarch.predictors.gas import gas_hybrid_family
 from repro.uarch.predictors.tage import LTagePredictor
 from repro.workloads.suite import Benchmark, get_benchmark, mase_suite, spec2006
@@ -58,16 +63,72 @@ def scale_from_env(default: str = "small") -> Scale:
     return SCALES[name]
 
 
+@dataclass(frozen=True)
+class CampaignRecord:
+    """Timing/provenance of one campaign the laboratory served."""
+
+    benchmark: str
+    heap: bool
+    n_layouts: int
+    measured: int
+    seconds: float
+
+    @property
+    def layouts_per_second(self) -> float:
+        """Measurement throughput (0 when nothing was measured)."""
+        if self.measured == 0 or self.seconds <= 0:
+            return 0.0
+        return self.measured / self.seconds
+
+    @property
+    def source(self) -> str:
+        """Where the campaign came from: ``cache`` or ``measured``."""
+        return "cache" if self.measured == 0 else "measured"
+
+    def render(self) -> str:
+        """One progress line for CLI output."""
+        kind = "heap campaign" if self.heap else "campaign"
+        if self.measured == 0:
+            return (
+                f"{kind} {self.benchmark}: {self.n_layouts} layouts "
+                f"from cache ({self.seconds:.2f}s)"
+            )
+        return (
+            f"{kind} {self.benchmark}: {self.measured}/{self.n_layouts} "
+            f"layouts measured in {self.seconds:.2f}s "
+            f"({self.layouts_per_second:.1f} layouts/s)"
+        )
+
+
 class Laboratory:
     """Shared state for all experiment regenerators.
 
     Observation sets are cached per benchmark, so experiments that
     consume the same campaign (Fig. 1, Fig. 2, Fig. 6, Table 1, Figs.
-    7-8) measure each layout exactly once per process.
+    7-8) measure each layout exactly once per process — and, with a
+    ``cache_dir``, exactly once across processes: campaigns are served
+    from the disk-backed :class:`~repro.store.CampaignStore` keyed by
+    (benchmark, scale, machine seed, heap flag, format version) before
+    anything is measured.
+
+    ``workers`` enables process-level fan-out of suite-wide campaigns
+    through :class:`~repro.core.park.MachinePark`; results are
+    bit-identical to serial runs (every observation is a pure function
+    of machine config, machine seed, benchmark, and layout index).
     """
 
-    def __init__(self, scale: Scale | None = None, machine_seed: int = 1) -> None:
+    def __init__(
+        self,
+        scale: Scale | None = None,
+        machine_seed: int = 1,
+        cache_dir: str | Path | None = None,
+        workers: int = 0,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.scale = scale if scale is not None else scale_from_env()
+        self.machine_seed = machine_seed
+        self.workers = workers
         self.machine = XeonE5440(seed=machine_seed)
         self.interferometer = Interferometer(
             self.machine, trace_events=self.scale.trace_events
@@ -75,8 +136,12 @@ class Laboratory:
         self.heap_interferometer = Interferometer(
             self.machine, trace_events=self.scale.trace_events, randomize_heap=True
         )
+        self.store = None if cache_dir is None else CampaignStore(cache_dir)
         self.suite = spec2006()
         self.mase_suite = mase_suite()
+        self.campaign_log: list[CampaignRecord] = []
+        #: Optional observer called after every campaign (CLI progress).
+        self.on_campaign: Callable[[CampaignRecord], None] | None = None
         self._observations: dict[str, ObservationSet] = {}
         self._heap_observations: dict[str, ObservationSet] = {}
         self._evaluations: dict[str, PredictorEvaluation] = {}
@@ -86,13 +151,60 @@ class Laboratory:
         """Look up a benchmark (suite member or MASE-only)."""
         return self.suite.get(name) or get_benchmark(name)
 
+    # ------------------------------------------------------------------
+    # Campaign plumbing: memory cache -> disk store -> interferometer.
+    # ------------------------------------------------------------------
+
+    def _interferometer_for(self, heap: bool) -> Interferometer:
+        return self.heap_interferometer if heap else self.interferometer
+
+    def _campaign_key(self, name: str, heap: bool) -> CampaignKey:
+        """The store key of one benchmark's campaign at this lab's scale."""
+        return CampaignKey.for_interferometer(self._interferometer_for(heap), name)
+
+    def _record(
+        self, name: str, heap: bool, measured: int, seconds: float
+    ) -> None:
+        record = CampaignRecord(
+            benchmark=name,
+            heap=heap,
+            n_layouts=self.scale.n_layouts,
+            measured=measured,
+            seconds=seconds,
+        )
+        self.campaign_log.append(record)
+        if self.on_campaign is not None:
+            self.on_campaign(record)
+
+    def _measure_campaign(self, name: str, heap: bool) -> ObservationSet:
+        """Serve one campaign: disk store first, interferometer on miss."""
+        interferometer = self._interferometer_for(heap)
+        benchmark = self.benchmark(name)
+        start = time.perf_counter()
+        if self.store is None:
+            result = interferometer.observe(
+                benchmark, n_layouts=self.scale.n_layouts
+            )
+            measured = len(result)
+        else:
+            def measure(start_index: int, n: int) -> Sequence[Observation]:
+                return interferometer.observe(
+                    benchmark, n_layouts=n, start_index=start_index
+                ).observations
+
+            before = self.store.stats.layouts_measured
+            result = self.store.get(
+                self._campaign_key(name, heap), self.scale.n_layouts, measure
+            )
+            measured = self.store.stats.layouts_measured - before
+        self._record(name, heap, measured, time.perf_counter() - start)
+        return result
+
     def observations(self, name: str) -> ObservationSet:
         """The code-reordering campaign for one benchmark (cached)."""
         cached = self._observations.get(name)
         if cached is None:
-            cached = self.interferometer.observe(
-                self.benchmark(name), n_layouts=self.scale.n_layouts
-            )
+            cached = self._measure_campaign(name, heap=False)
             self._observations[name] = cached
         return cached
 
@@ -100,11 +212,85 @@ class Laboratory:
         """The code+heap randomization campaign (cached)."""
         cached = self._heap_observations.get(name)
         if cached is None:
-            cached = self.heap_interferometer.observe(
-                self.benchmark(name), n_layouts=self.scale.n_layouts
-            )
+            cached = self._measure_campaign(name, heap=True)
             self._heap_observations[name] = cached
         return cached
+
+    def prefetch(
+        self,
+        names: Sequence[str] | None = None,
+        heap: bool = False,
+        workers: int | None = None,
+    ) -> None:
+        """Warm the campaign caches for several benchmarks at once.
+
+        Campaigns already in memory or fully present in the disk store
+        are loaded in place; the rest fan out over *workers* processes
+        through a single-machine :class:`MachinePark` carrying this
+        laboratory's machine seed and configuration, so the fanned-out
+        measurements are bit-identical to the serial path.  Partially
+        stored campaigns are resumed: only the missing layout suffix is
+        measured.
+        """
+        workers = self.workers if workers is None else workers
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        names = list(self.suite) if names is None else list(names)
+        memory = self._heap_observations if heap else self._observations
+        missing = [n for n in dict.fromkeys(names) if n not in memory]
+        prefixes: dict[str, list[Observation]] = {}
+        for name in missing:
+            if self.store is None:
+                prefixes[name] = []
+                continue
+            stored = self.store.load(self._campaign_key(name, heap))
+            prefix = [] if stored is None else list(stored.observations)
+            if len(prefix) >= self.scale.n_layouts:
+                # Fully stored: serve it without measuring (a hit).
+                start = time.perf_counter()
+                result = ObservationSet(benchmark=name)
+                result.extend(prefix[: self.scale.n_layouts])
+                self.store.stats.hits += 1
+                self.store.stats.layouts_loaded += len(result)
+                memory[name] = result
+                self._record(name, heap, 0, time.perf_counter() - start)
+            else:
+                prefixes[name] = prefix
+        to_measure = list(prefixes)
+        if not to_measure:
+            return
+        if workers == 0:
+            for name in to_measure:
+                (self.heap_observations if heap else self.observations)(name)
+            return
+        park = MachinePark(
+            machine_seeds=[self.machine_seed],
+            config=self.machine.config,
+            trace_events=self.scale.trace_events,
+            runs_per_group=self.interferometer.runs_per_group,
+        )
+        start = time.perf_counter()
+        suffixes = park.observe_suite(
+            to_measure,
+            n_layouts=self.scale.n_layouts,
+            randomize_heap=heap,
+            workers=workers,
+            start_indices={name: len(prefixes[name]) for name in to_measure},
+        )
+        elapsed = time.perf_counter() - start
+        per_campaign = elapsed / len(to_measure)
+        for name in to_measure:
+            result = ObservationSet(benchmark=name)
+            result.extend(prefixes[name])
+            result.extend(suffixes.get(name, ObservationSet(benchmark=name)).observations)
+            measured = len(result) - len(prefixes[name])
+            if self.store is not None:
+                self.store.save(self._campaign_key(name, heap), result)
+                self.store.stats.misses += 1
+                self.store.stats.layouts_loaded += len(prefixes[name])
+                self.store.stats.layouts_measured += measured
+            memory[name] = result
+            self._record(name, heap, measured, per_campaign)
 
     def model(self, name: str) -> PerformanceModel:
         """The CPI-on-MPKI model of one benchmark."""
@@ -118,7 +304,11 @@ class Laboratory:
                 try:
                     if self.model(name).is_significant(alpha):
                         names.append(name)
-                except Exception:  # zero-variance MPKI: cannot be significant
+                except ModelError:
+                    # Zero-variance MPKI: no line can be fit, so the
+                    # benchmark cannot be significant.  Anything else
+                    # (measurement failures, bad configs) propagates —
+                    # swallowing it would silently hide regressions.
                     continue
             self._significant = names
         return self._significant

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ModelError
 from repro.harness.lab import Laboratory, get_lab
 from repro.harness.report import format_table
 
@@ -80,7 +81,9 @@ def run(lab: Laboratory | None = None) -> SignificanceResult:
                     expected_significant=benchmark.expected_significant,
                 )
             )
-        except Exception:
+        except ModelError:
+            # Zero-variance regressor: the line cannot be fit, so the
+            # benchmark is screened out.  Other errors propagate.
             rows.append(
                 SignificanceRow(
                     benchmark=name,

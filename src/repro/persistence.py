@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -26,14 +27,59 @@ from repro.machine.counters import Counter
 from repro.machine.pmc import Measurement
 from repro.program.tracegen import Trace
 
-_FORMAT_VERSION = 1
+#: Version 2 adds campaign provenance (measurement protocol + machine
+#: identity) so observation sets measured under different protocols can
+#: no longer be silently mixed on reload.  Version 1 files (no
+#: provenance) are still readable.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_observations(observations: ObservationSet, path: str | Path) -> None:
-    """Write an observation set as JSON."""
+@dataclass(frozen=True)
+class CampaignProvenance:
+    """How an observation set was measured.
+
+    ``machine_seed`` is the identity of the measuring machine;
+    ``trace_events`` and ``runs_per_group`` pin the canonical trace
+    length and the counter-collection protocol; ``randomize_heap``
+    records whether layouts also got DieHard-randomized heaps.
+    """
+
+    trace_events: int
+    runs_per_group: int
+    machine_seed: int
+    randomize_heap: bool
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the JSON payload."""
+        return {
+            "trace_events": self.trace_events,
+            "runs_per_group": self.runs_per_group,
+            "machine_seed": self.machine_seed,
+            "randomize_heap": self.randomize_heap,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "CampaignProvenance":
+        """Rebuild provenance from its JSON form."""
+        return cls(
+            trace_events=int(record["trace_events"]),
+            runs_per_group=int(record["runs_per_group"]),
+            machine_seed=int(record["machine_seed"]),
+            randomize_heap=bool(record["randomize_heap"]),
+        )
+
+
+def save_observations(
+    observations: ObservationSet,
+    path: str | Path,
+    provenance: CampaignProvenance | None = None,
+) -> None:
+    """Write an observation set as JSON (format version 2)."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "benchmark": observations.benchmark,
+        "provenance": None if provenance is None else provenance.to_json(),
         "observations": [
             {
                 "layout_index": obs.layout_index,
@@ -51,16 +97,31 @@ def save_observations(observations: ObservationSet, path: str | Path) -> None:
     Path(path).write_text(json.dumps(payload, indent=1))
 
 
-def load_observations(path: str | Path) -> ObservationSet:
-    """Read an observation set written by :func:`save_observations`."""
+def load_campaign(
+    path: str | Path,
+) -> tuple[ObservationSet, CampaignProvenance | None]:
+    """Read an observation set plus its provenance.
+
+    Accepts both format versions: version 1 files carry no provenance
+    and yield ``None``; version 2 files yield the recorded
+    :class:`CampaignProvenance` (or ``None`` if the writer omitted it).
+    """
     try:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ReproError(f"cannot read observation set from {path}: {exc}") from exc
-    if payload.get("format_version") != _FORMAT_VERSION:
+    version = payload.get("format_version")
+    if version not in _SUPPORTED_VERSIONS:
         raise ReproError(
-            f"{path}: unsupported format version {payload.get('format_version')!r}"
+            f"{path}: unsupported format version {version!r}; "
+            f"supported: {_SUPPORTED_VERSIONS}"
         )
+    provenance = None
+    if version >= 2 and payload.get("provenance") is not None:
+        try:
+            provenance = CampaignProvenance.from_json(payload["provenance"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"{path}: malformed provenance block: {exc}") from exc
     observations = ObservationSet(benchmark=payload["benchmark"])
     for record in payload["observations"]:
         counters = {
@@ -85,6 +146,12 @@ def load_observations(path: str | Path) -> ObservationSet:
                 ),
             )
         )
+    return observations, provenance
+
+
+def load_observations(path: str | Path) -> ObservationSet:
+    """Read an observation set written by :func:`save_observations`."""
+    observations, _ = load_campaign(path)
     return observations
 
 

@@ -1,0 +1,226 @@
+"""Disk-backed campaign store: measure once, reuse everywhere.
+
+The paper amortizes its measurement cost across experiments — the same
+100 reorderings per benchmark feed Figs. 1-2, 6-8 and Table 1.  The
+:class:`CampaignStore` extends that amortization across *processes*: a
+content-addressed cache of observation sets keyed by everything that
+determines a campaign's bits:
+
+* benchmark name,
+* canonical trace length (the scale's ``trace_events``),
+* counter protocol (``runs_per_group``),
+* machine identity (seed) and machine configuration (digest),
+* heap-randomization flag,
+* persistence format version.
+
+Because every observation is a pure function of that key plus the
+layout index, a stored campaign with *n* layouts serves any request for
+``<= n`` layouts bit-identically, and a request for more layouts only
+measures (and persists) the missing suffix — the escalation protocol of
+§6.3 never re-measures earlier reorderings.
+
+Layout on disk: one JSON file per campaign under the store root,
+``<benchmark>[-heap]-<key digest>.json``, in the
+:mod:`repro.persistence` format (version 2, with provenance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.observations import Observation, ObservationSet
+from repro.errors import ConfigurationError, ReproError
+from repro.persistence import (
+    _FORMAT_VERSION,
+    CampaignProvenance,
+    load_campaign,
+    save_observations,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.interferometer import Interferometer
+    from repro.machine.config import XeonE5440Config
+
+#: Signature of the measurement callback :meth:`CampaignStore.get`
+#: invokes on a miss: ``measure(start_index, n_layouts) -> observations``.
+MeasureFn = Callable[[int, int], Sequence[Observation]]
+
+
+def config_digest(config: "XeonE5440Config") -> str:
+    """Short content digest of a machine configuration."""
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class CampaignKey:
+    """Everything that determines a campaign's measured bits."""
+
+    benchmark: str
+    trace_events: int
+    runs_per_group: int
+    machine_seed: int
+    config_digest: str
+    randomize_heap: bool
+    format_version: int = _FORMAT_VERSION
+
+    @classmethod
+    def for_interferometer(
+        cls, interferometer: "Interferometer", benchmark_name: str
+    ) -> "CampaignKey":
+        """The key of the campaign an interferometer would measure."""
+        return cls(
+            benchmark=benchmark_name,
+            trace_events=interferometer.trace_events,
+            runs_per_group=interferometer.runs_per_group,
+            machine_seed=interferometer.machine.seed,
+            config_digest=config_digest(interferometer.machine.config),
+            randomize_heap=interferometer.randomize_heap,
+        )
+
+    def digest(self) -> str:
+        """Content address of this key (stable across processes)."""
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def filename(self) -> str:
+        """Human-greppable store filename for this campaign."""
+        slug = "".join(c if c.isalnum() else "_" for c in self.benchmark)
+        heap = "-heap" if self.randomize_heap else ""
+        return f"{slug}{heap}-{self.digest()}.json"
+
+    @property
+    def provenance(self) -> CampaignProvenance:
+        """The provenance block persisted alongside this campaign."""
+        return CampaignProvenance(
+            trace_events=self.trace_events,
+            runs_per_group=self.runs_per_group,
+            machine_seed=self.machine_seed,
+            randomize_heap=self.randomize_heap,
+        )
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss and layout counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    layouts_loaded: int = 0
+    layouts_measured: int = 0
+
+    def summary(self) -> str:
+        """One-line rendering for CLI summaries."""
+        return (
+            f"{self.hits} hits, {self.misses} misses; "
+            f"{self.layouts_loaded} layouts loaded, "
+            f"{self.layouts_measured} measured"
+        )
+
+
+class CampaignStore:
+    """A directory of persisted campaigns, consulted before measuring."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ConfigurationError(
+                f"campaign store root {self.root} exists and is not a directory"
+            ) from exc
+        self.stats = StoreStats()
+
+    def path_for(self, key: CampaignKey) -> Path:
+        """Store file of one campaign."""
+        return self.root / key.filename
+
+    def load(self, key: CampaignKey) -> ObservationSet | None:
+        """The stored campaign for *key*, or ``None`` if absent.
+
+        The persisted provenance is checked against the key; a mismatch
+        (a file placed or edited by hand) raises rather than silently
+        mixing observation sets measured under different protocols.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        observations, provenance = load_campaign(path)
+        if observations.benchmark != key.benchmark:
+            raise ReproError(
+                f"{path}: stored campaign is for {observations.benchmark!r}, "
+                f"expected {key.benchmark!r}"
+            )
+        if provenance is not None and provenance != key.provenance:
+            raise ReproError(
+                f"{path}: stored provenance {provenance} does not match the "
+                f"requested campaign {key.provenance}; refusing to mix protocols"
+            )
+        return observations
+
+    def save(self, key: CampaignKey, observations: ObservationSet) -> Path:
+        """Persist a campaign (atomically: write then rename)."""
+        if observations.benchmark != key.benchmark:
+            raise ConfigurationError(
+                f"observation set is for {observations.benchmark!r}, "
+                f"key is for {key.benchmark!r}"
+            )
+        path = self.path_for(key)
+        tmp = path.with_suffix(".json.tmp")
+        save_observations(observations, tmp, provenance=key.provenance)
+        tmp.replace(path)
+        return path
+
+    def sink(self, key: CampaignKey) -> Callable[[ObservationSet], None]:
+        """A callback persisting every incremental extension of a campaign.
+
+        Suitable for :meth:`Interferometer.extend`'s ``sink`` parameter:
+        each appended layout is durable as soon as it is measured.
+        """
+
+        def persist(observations: ObservationSet) -> None:
+            self.save(key, observations)
+
+        return persist
+
+    def get(
+        self, key: CampaignKey, n_layouts: int, measure: MeasureFn
+    ) -> ObservationSet:
+        """The first *n_layouts* observations of a campaign.
+
+        Fully served from disk when the stored campaign is long enough
+        (a *hit*); otherwise only the missing suffix is measured via
+        ``measure(start_index, n_missing)`` and the union is persisted
+        (a *miss* — partial reuse still avoids re-measuring the prefix).
+        """
+        if n_layouts <= 0:
+            raise ConfigurationError(
+                f"n_layouts must be positive, got {n_layouts}"
+            )
+        stored = self.load(key)
+        prefix = list(stored.observations) if stored is not None else []
+        if len(prefix) >= n_layouts:
+            self.stats.hits += 1
+            self.stats.layouts_loaded += n_layouts
+            result = ObservationSet(benchmark=key.benchmark)
+            result.extend(prefix[:n_layouts])
+            return result
+        fresh = list(measure(len(prefix), n_layouts - len(prefix)))
+        if len(fresh) != n_layouts - len(prefix):
+            raise ReproError(
+                f"measure callback returned {len(fresh)} observations, "
+                f"expected {n_layouts - len(prefix)}"
+            )
+        self.stats.misses += 1
+        self.stats.layouts_loaded += len(prefix)
+        self.stats.layouts_measured += len(fresh)
+        result = ObservationSet(benchmark=key.benchmark)
+        result.extend(prefix + fresh)
+        self.save(key, result)
+        return result

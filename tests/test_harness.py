@@ -197,5 +197,74 @@ class TestCli:
             "table1", "significance", "headline", "extended",
         }
 
+    def test_every_experiment_has_campaign_metadata(self):
+        from repro.cli import EXPERIMENT_CAMPAIGNS
+
+        assert set(EXPERIMENT_CAMPAIGNS) == set(EXPERIMENTS)
+
     def test_unknown_experiment(self, capsys):
         assert main(["not-a-fig"]) == 2
+
+    def test_negative_workers(self, capsys):
+        assert main(["headline", "--workers", "-1"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_export_without_experiments_errors(self, capsys, tmp_path):
+        """--export with no experiments used to silently hit the --list
+        early return and drop the export; now it errors clearly."""
+        assert main(["--export", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--export" in err
+        assert not list(tmp_path.iterdir())
+
+    def test_export_with_experiments_writes_csv(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["fig3", "--scale", "ci", "--export", str(out_dir)]) == 0
+        assert (out_dir / "fig3_cache_points.csv").exists()
+        assert "exported 1 CSV" in capsys.readouterr().out
+
+    def test_cached_second_invocation_measures_nothing(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["headline", "--scale", "ci", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "1 measured" in first
+        assert main(["headline", "--scale", "ci", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "0 layouts measured" in second
+        assert "1 hits" in second
+
+    def test_no_cache_flag_disables_store(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(
+            ["headline", "--scale", "ci", "--cache-dir", str(cache), "--no-cache"]
+        ) == 0
+        assert not cache.exists()
+
+
+class TestSignificantBenchmarksErrors:
+    def test_unexpected_errors_propagate(self, monkeypatch):
+        """Only the zero-variance ModelError is screened out; real
+        failures must not be silently hidden as 'not significant'."""
+        from repro.errors import ModelError
+        from tests.conftest import TEST_SCALE
+
+        fresh = Laboratory(scale=TEST_SCALE, machine_seed=7)
+
+        def boom(name):
+            raise RuntimeError("measurement infrastructure broke")
+
+        monkeypatch.setattr(fresh, "model", boom)
+        with pytest.raises(RuntimeError):
+            fresh.significant_benchmarks()
+
+    def test_model_error_screens_out(self, monkeypatch):
+        from repro.errors import ModelError
+        from tests.conftest import TEST_SCALE
+
+        fresh = Laboratory(scale=TEST_SCALE, machine_seed=7)
+
+        def zero_variance(name):
+            raise ModelError("regressor has zero variance")
+
+        monkeypatch.setattr(fresh, "model", zero_variance)
+        assert fresh.significant_benchmarks() == []

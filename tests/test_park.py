@@ -77,6 +77,33 @@ class TestCampaigns:
         with pytest.raises(ConfigurationError):
             park.observe_suite(["456.hmmer"], n_layouts=2, workers=-1)
 
+    def test_duplicate_benchmarks_rejected(self, park):
+        """Duplicates used to be measured twice and silently collapsed
+        (last one wins) in the results dict; now they are an error."""
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            park.observe_suite(["456.hmmer", "470.lbm", "456.hmmer"], n_layouts=2)
+
+    def test_start_indices_resume_suffix(self, park):
+        full = park.observe_suite(["456.hmmer"], n_layouts=4)["456.hmmer"]
+        suffix = park.observe_suite(
+            ["456.hmmer"], n_layouts=4, start_indices={"456.hmmer": 2}
+        )["456.hmmer"]
+        assert [o.layout_index for o in suffix] == [2, 3]
+        assert (suffix.cpis == full.cpis[2:]).all()
+
+    def test_start_index_out_of_range(self, park):
+        with pytest.raises(ConfigurationError):
+            park.observe_suite(
+                ["456.hmmer"], n_layouts=4, start_indices={"456.hmmer": 5}
+            )
+
+    def test_explicit_machine_seeds(self):
+        park = MachinePark(machine_seeds=[11, 22], trace_events=2500)
+        assert park.n_machines == 2
+        assert park.machine_seed(0) == 11
+        assert park.machine_seed(1) == 22
+        assert park.machines[0].seed == 11
+
 
 class TestCustomConfig:
     def test_custom_config_reaches_workers(self):

@@ -7,9 +7,13 @@ import csv
 import numpy as np
 import pytest
 
+import json
+
 from repro.errors import ReproError
 from repro.persistence import (
+    CampaignProvenance,
     export_observations_csv,
+    load_campaign,
     load_observations,
     load_trace,
     save_observations,
@@ -56,6 +60,55 @@ class TestObservationRoundTrip:
         path.write_text('{"format_version": 99, "benchmark": "x", "observations": []}')
         with pytest.raises(ReproError, match="version"):
             load_observations(path)
+
+
+class TestProvenance:
+    PROVENANCE = CampaignProvenance(
+        trace_events=6000, runs_per_group=5, machine_seed=7, randomize_heap=False
+    )
+
+    def test_provenance_round_trip(self, tmp_path):
+        original = _synthetic_observations(n=5)
+        path = tmp_path / "obs.json"
+        save_observations(original, path, provenance=self.PROVENANCE)
+        observations, provenance = load_campaign(path)
+        assert provenance == self.PROVENANCE
+        assert (observations.cpis == original.cpis).all()
+
+    def test_format_version_is_2(self, tmp_path):
+        path = tmp_path / "obs.json"
+        save_observations(_synthetic_observations(n=4), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 2
+
+    def test_provenance_optional(self, tmp_path):
+        path = tmp_path / "obs.json"
+        save_observations(_synthetic_observations(n=4), path)
+        _, provenance = load_campaign(path)
+        assert provenance is None
+
+    def test_v1_file_still_loads(self, tmp_path):
+        """A version-1 file (no provenance) remains readable."""
+        original = _synthetic_observations(n=5)
+        path = tmp_path / "v1.json"
+        save_observations(original, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 1
+        del payload["provenance"]
+        path.write_text(json.dumps(payload))
+        observations, provenance = load_campaign(path)
+        assert provenance is None
+        assert (observations.cpis == original.cpis).all()
+        assert len(load_observations(path)) == 5
+
+    def test_malformed_provenance_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        save_observations(_synthetic_observations(n=4), path, provenance=self.PROVENANCE)
+        payload = json.loads(path.read_text())
+        del payload["provenance"]["machine_seed"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="provenance"):
+            load_campaign(path)
 
 
 class TestCsvExport:
