@@ -34,7 +34,14 @@ from repro.core import (
     layout_seed,
     run_cache_interferometry,
 )
-from repro.errors import ReproError
+from repro.errors import (
+    CampaignExecutionError,
+    CorruptCampaignError,
+    ReproError,
+    SuiteExecutionError,
+    TransientError,
+)
+from repro.faults import FailureReport, FaultPlan, RetryPolicy
 from repro.heap import DieHardAllocator, SequentialAllocator
 from repro.machine import XeonE5440, XeonE5440Config, measure_executable
 from repro.machine.counters import Counter
@@ -79,13 +86,17 @@ __all__ = [
     "BlameAnalysis",
     "BranchPredictor",
     "Camino",
+    "CampaignExecutionError",
     "CampaignKey",
     "CampaignProvenance",
     "CampaignStore",
     "ConflictAvoidingPlacer",
+    "CorruptCampaignError",
     "Counter",
     "DieHardAllocator",
     "Executable",
+    "FailureReport",
+    "FaultPlan",
     "GAsPredictor",
     "GsharePredictor",
     "GskewPredictor",
@@ -101,9 +112,12 @@ __all__ = [
     "PinTool",
     "PredictorEvaluator",
     "ReproError",
+    "RetryPolicy",
     "SampleEscalation",
     "SequentialAllocator",
+    "SuiteExecutionError",
     "TagePredictor",
+    "TransientError",
     "XeonE5440",
     "XeonE5440Config",
     "bootstrap_interval",

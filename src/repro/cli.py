@@ -16,7 +16,14 @@ import sys
 import time
 from typing import Callable
 
-from repro.errors import ReproError
+from repro import faults
+from repro.errors import (
+    CampaignExecutionError,
+    ConfigurationError,
+    ReproError,
+    SuiteExecutionError,
+)
+from repro.faults import FaultPlan
 from repro.harness import SCALES, Laboratory, get_lab
 from repro.harness import (  # noqa: F401 - imported for registry
     extended,
@@ -91,11 +98,30 @@ def _campaigns_needed(names: list[str]) -> tuple[list[str] | None, list[str]]:
     return (None if suite_wide else list(code)), list(heap)
 
 
+#: Systematic exit codes (documented in ``--help``).
+EXIT_OK = 0
+EXIT_PARTIAL = 1
+EXIT_USAGE = 2
+
+_EPILOG = """\
+exit codes:
+  0  success — every requested experiment completed (possibly after
+     transparent retries or parallel->serial degradation; a recovery
+     report is printed whenever anything had to be retried)
+  1  partial failure — some campaigns or experiments failed after
+     exhausting their retry budget; a failure report names each one
+  2  configuration or usage error (unknown experiment, bad flag value,
+     invalid fault plan, ...)
+"""
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
         prog="repro-interferometry",
         description="Regenerate Program Interferometry (IISWC 2011) experiments.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
@@ -136,6 +162,30 @@ def main(argv: list[str] | None = None) -> int:
         help="ignore --cache-dir / $REPRO_CACHE_DIR and always measure",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per campaign on transient failures "
+        "(default: $REPRO_MAX_RETRIES or 2); retried measurements are "
+        "bit-identical because each is a pure function of its key",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first campaign/experiment failure instead of "
+        "completing the rest and reporting (exit code 1 either way)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults for testing: a canned profile "
+        "('flaky', 'chaos') or 'field=value,...' pairs, e.g. "
+        "'seed=7,flaky_read=0.1,torn_write=0.05' "
+        "(overrides $REPRO_FAULT_PLAN; 'none' disables)",
+    )
+    parser.add_argument(
         "--selftest",
         action="store_true",
         help="run the installation self-check battery and exit",
@@ -156,36 +206,72 @@ def main(argv: list[str] | None = None) -> int:
                 "(e.g. 'repro-interferometry all --export DIR')",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
         print("available experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
         print("scale via REPRO_SCALE env var: ci | small (default) | paper")
-        return 0
+        return EXIT_OK
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if args.workers < 0:
         print(f"error: --workers must be >= 0, got {args.workers}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    if args.max_retries is not None and args.max_retries < 0:
+        print(
+            f"error: --max-retries must be >= 0, got {args.max_retries}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    plan_installed = False
+    if args.fault_plan is not None:
+        try:
+            faults.install(FaultPlan.from_spec(args.fault_plan))
+        except ConfigurationError as exc:
+            print(f"error: --fault-plan {args.fault_plan!r}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        plan_installed = True
 
     cache_dir = None if args.no_cache else args.cache_dir
     try:
-        if args.scale or cache_dir or args.workers:
+        if (
+            args.scale
+            or cache_dir
+            or args.workers
+            or args.max_retries is not None
+            or args.fail_fast
+        ):
             lab = Laboratory(
                 scale=SCALES[args.scale] if args.scale else None,
                 cache_dir=cache_dir,
                 workers=args.workers,
+                max_retries=args.max_retries,
+                fail_fast=args.fail_fast,
             )
         else:
             lab = get_lab()
         return _run(lab, names, args)
+    except SuiteExecutionError as exc:
+        # fail-fast path: a suite prefetch gave up mid-flight.
+        print(f"error: {exc}", file=sys.stderr)
+        print(exc.report.render(), file=sys.stderr)
+        return EXIT_PARTIAL
+    except CampaignExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_PARTIAL
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    finally:
+        if plan_installed:
+            # The --fault-plan installation is scoped to this run, so
+            # in-process callers (tests, notebooks) are not left with a
+            # process-wide plan.
+            faults.clear()
 
 
 def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
@@ -203,21 +289,42 @@ def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
         if heap_names:
             lab.prefetch(heap_names, heap=True)
 
+    failed_experiments: list[str] = []
     for name in names:
         start = time.time()
-        result = EXPERIMENTS[name](lab)
+        try:
+            result = EXPERIMENTS[name](lab)
+        except (CampaignExecutionError, SuiteExecutionError) as exc:
+            # A campaign exhausted its retry budget.  Report the
+            # experiment as failed and keep going: partial results beat
+            # a traceback, and the final report names every casualty.
+            failed_experiments.append(name)
+            print(f"\n=== {name} FAILED " + "=" * 40)
+            print(f"  {exc}")
+            if args.fail_fast:
+                break
+            continue
         elapsed = time.time() - start
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
         print(result.render())
 
     _print_summary(lab)
+    if lab.failure_report:
+        print("\n" + lab.failure_report.render())
 
     if args.export:
         from repro.harness.export import export_experiments
 
         paths = export_experiments(lab, names, args.export)
         print(f"\nexported {len(paths)} CSV files to {args.export}/")
-    return 0
+    if failed_experiments or not lab.failure_report.ok:
+        print(
+            f"\npartial failure: {len(failed_experiments)} experiment(s) "
+            f"did not complete ({', '.join(failed_experiments) or 'none'})",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _print_summary(lab: Laboratory) -> None:

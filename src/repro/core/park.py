@@ -11,18 +11,30 @@ measurements.
 
 Determinism: results are identical whether a campaign runs serially or
 across worker processes, because every observation is a pure function
-of (machine config, machine seed, benchmark, layout index).
+of (machine config, machine seed, benchmark, layout index).  The same
+purity powers fault tolerance: a retried or degraded campaign re-runs
+the identical pure function, so recovered results stay bit-identical.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import faults
 from repro.core.interferometer import Interferometer
 from repro.core.observations import Observation, ObservationSet
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    SuiteExecutionError,
+    TransientError,
+    WorkerCrashError,
+)
+from repro.faults import FailureReport, FaultPlan, RetryPolicy
 from repro.machine.config import XeonE5440Config
 from repro.machine.system import XeonE5440
 from repro.rng import derive_seed
@@ -41,22 +53,43 @@ class _CampaignSpec:
     start_index: int
     randomize_heap: bool
     runs_per_group: int
+    fault_plan: FaultPlan | None = None
+
+
+def _in_worker_process() -> bool:
+    """True inside a multiprocessing pool worker (not the main process)."""
+    return multiprocessing.parent_process() is not None
 
 
 def _run_campaign(spec: _CampaignSpec) -> list[Observation]:
     """Worker entry point: measure one benchmark's layout slice."""
-    machine = XeonE5440(config=spec.machine_config, seed=spec.machine_seed)
-    interferometer = Interferometer(
-        machine,
-        trace_events=spec.trace_events,
-        runs_per_group=spec.runs_per_group,
-        randomize_heap=spec.randomize_heap,
-    )
-    benchmark = get_benchmark(spec.benchmark_name)
-    observations = interferometer.observe(
-        benchmark, n_layouts=spec.n_layouts, start_index=spec.start_index
-    )
-    return observations.observations
+    with faults.plan_scope(spec.fault_plan):
+        plan = faults.active_plan()
+        if (
+            plan is not None
+            and _in_worker_process()
+            and plan.crashes_worker(spec.benchmark_name)
+        ):
+            if plan.hard_crash:
+                # Kill the worker outright: the pool breaks and the
+                # supervisor exercises the BrokenProcessPool path.
+                os._exit(13)
+            raise WorkerCrashError(
+                f"injected crash measuring {spec.benchmark_name!r} "
+                "in a pool worker"
+            )
+        machine = XeonE5440(config=spec.machine_config, seed=spec.machine_seed)
+        interferometer = Interferometer(
+            machine,
+            trace_events=spec.trace_events,
+            runs_per_group=spec.runs_per_group,
+            randomize_heap=spec.randomize_heap,
+        )
+        benchmark = get_benchmark(spec.benchmark_name)
+        observations = interferometer.observe(
+            benchmark, n_layouts=spec.n_layouts, start_index=spec.start_index
+        )
+        return observations.observations
 
 
 class MachinePark:
@@ -130,6 +163,10 @@ class MachinePark:
         randomize_heap: bool = False,
         workers: int = 0,
         start_indices: Mapping[str, int] | None = None,
+        max_retries: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        report: FailureReport | None = None,
+        fail_fast: bool = False,
     ) -> Mapping[str, ObservationSet]:
         """Run full campaigns for several benchmarks across the park.
 
@@ -141,9 +178,29 @@ class MachinePark:
         layout counts: each campaign measures layouts
         ``[start, n_layouts)`` only, so callers resuming from a
         persisted prefix get exactly the missing suffix back.
+
+        Fault tolerance: each campaign is retried up to the policy's
+        ``max_retries`` on transient failures (exponential backoff); a
+        campaign whose pool worker crashes or dies is re-run serially
+        in this process (graceful degradation, parallel → serial)
+        instead of aborting the suite.  Because a retry re-runs the
+        same pure function of (seed, benchmark, layout index), every
+        recovered campaign is bit-identical to a fault-free run.
+        Incidents are recorded in *report* when one is passed (failed
+        campaigns are then simply absent from the result); without a
+        report, a campaign that still fails after the whole budget
+        raises :class:`~repro.errors.SuiteExecutionError` carrying the
+        full :class:`~repro.faults.FailureReport` — after every other
+        campaign has been given its chance.  ``fail_fast`` aborts at
+        the first exhausted campaign instead.
         """
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.from_env(max_retries)
+        )
         names = [b if isinstance(b, str) else b.name for b in benchmarks]
         duplicates = sorted({name for name in names if names.count(name) > 1})
         if duplicates:
@@ -158,6 +215,7 @@ class MachinePark:
                     f"start index {start} for {name!r} out of range "
                     f"[0, {n_layouts}]"
                 )
+        plan = faults.active_plan()
         specs = [
             _CampaignSpec(
                 benchmark_name=name,
@@ -168,18 +226,91 @@ class MachinePark:
                 start_index=starts.get(name, 0),
                 randomize_heap=randomize_heap,
                 runs_per_group=self.runs_per_group,
+                fault_plan=plan,
             )
             for name in names
             if n_layouts - starts.get(name, 0) > 0
         ]
+        local_report = report if report is not None else FailureReport()
+        slices: list[list[Observation] | None]
         if workers == 0:
-            slices = [_run_campaign(spec) for spec in specs]
+            slices = [
+                self._run_supervised(spec, policy, local_report, fail_fast)
+                for spec in specs
+            ]
         else:
+            slices = []
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                slices = list(pool.map(_run_campaign, specs))
+                futures = [pool.submit(_run_campaign, spec) for spec in specs]
+                for spec, future in zip(specs, futures):
+                    try:
+                        slices.append(future.result())
+                    except (TransientError, BrokenProcessPool) as exc:
+                        # Graceful degradation: the worker died or timed
+                        # out, so this campaign re-runs serially here.
+                        local_report.record(
+                            spec.benchmark_name,
+                            "degraded",
+                            attempts=1,
+                            error=f"pool worker failed ({exc}); re-ran serially",
+                            heap=spec.randomize_heap,
+                        )
+                        slices.append(
+                            self._run_supervised(
+                                spec, policy, local_report, fail_fast
+                            )
+                        )
         results: dict[str, ObservationSet] = {}
         for spec, observations in zip(specs, slices):
+            if observations is None:
+                continue  # failed after the full budget; in the report
             observation_set = ObservationSet(benchmark=spec.benchmark_name)
             observation_set.extend(observations)
             results[spec.benchmark_name] = observation_set
+        if report is None and not local_report.ok:
+            raise SuiteExecutionError(local_report)
         return results
+
+    def _run_supervised(
+        self,
+        spec: _CampaignSpec,
+        policy: RetryPolicy,
+        report: FailureReport,
+        fail_fast: bool,
+    ) -> list[Observation] | None:
+        """One campaign with the retry budget, in this process.
+
+        Returns the measured slice, or ``None`` when the budget is
+        exhausted (the failure is recorded in *report*; with
+        ``fail_fast`` it raises immediately instead).
+        """
+        attempts = 0
+        last_error: TransientError | None = None
+        while True:
+            try:
+                result = _run_campaign(spec)
+                break
+            except TransientError as exc:
+                attempts += 1
+                last_error = exc
+                if attempts > policy.max_retries:
+                    report.record(
+                        spec.benchmark_name,
+                        "failed",
+                        attempts=attempts,
+                        error=str(exc),
+                        heap=spec.randomize_heap,
+                    )
+                    if fail_fast:
+                        raise SuiteExecutionError(report) from exc
+                    return None
+                policy.sleep(attempts - 1)
+        if attempts:
+            report.record(
+                spec.benchmark_name,
+                "recovered",
+                attempts=attempts + 1,
+                error=f"transient failure(s), last: {last_error}",
+                heap=spec.randomize_heap,
+            )
+        return result

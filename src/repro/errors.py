@@ -12,6 +12,16 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
 
 
+class TransientError(ReproError):
+    """A failure that is expected to succeed if simply retried.
+
+    Because every measurement is a pure function of (machine seed,
+    benchmark, layout index), re-running after a transient failure
+    reproduces the exact bits a fault-free run would have produced.
+    Supervisors retry these; anything else propagates immediately.
+    """
+
+
 class ConfigurationError(ReproError):
     """A component was constructed with invalid or inconsistent parameters."""
 
@@ -26,6 +36,48 @@ class AllocationError(ReproError):
 
 class MeasurementError(ReproError):
     """A performance-counter measurement request was invalid."""
+
+
+class TransientMeasurementError(MeasurementError, TransientError):
+    """A counter read failed or returned garbage; re-reading should fix it."""
+
+
+class MeasurementTimeout(MeasurementError, TransientError):
+    """A counter read stalled past its deadline."""
+
+
+class WorkerCrashError(TransientError):
+    """A campaign worker process died mid-measurement."""
+
+
+class CorruptCampaignError(ReproError):
+    """A persisted campaign file failed integrity checks.
+
+    Stores treat this as a cache miss: the file is quarantined and the
+    campaign re-measured, so a bad cache entry can never poison a run.
+    """
+
+
+class CampaignExecutionError(ReproError):
+    """A campaign still failed after exhausting its retry budget."""
+
+    def __init__(self, message: str, *, benchmark: str | None = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.attempts = attempts
+
+
+class SuiteExecutionError(ReproError):
+    """One or more campaigns of a suite run failed after all retries.
+
+    Carries the structured :class:`~repro.faults.FailureReport` naming
+    every retried, degraded, and failed campaign.
+    """
+
+    def __init__(self, report) -> None:
+        super().__init__(f"suite execution failed: {report.one_line()}")
+        self.report = report
 
 
 class ModelError(ReproError):

@@ -19,7 +19,13 @@ from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
 from repro.core.observations import Observation, ObservationSet
 from repro.core.park import MachinePark
-from repro.errors import ConfigurationError, ModelError
+from repro.errors import (
+    CampaignExecutionError,
+    ConfigurationError,
+    ModelError,
+    TransientError,
+)
+from repro.faults import FailureReport, RetryPolicy
 from repro.machine.system import XeonE5440
 from repro.store import CampaignKey, CampaignStore
 from repro.uarch.predictors.gas import gas_hybrid_family
@@ -115,6 +121,17 @@ class Laboratory:
     through :class:`~repro.core.park.MachinePark`; results are
     bit-identical to serial runs (every observation is a pure function
     of machine config, machine seed, benchmark, and layout index).
+
+    Fault tolerance: every campaign runs under a retry budget
+    (``max_retries``, default ``REPRO_MAX_RETRIES`` or 2) with
+    exponential backoff; transient failures — flaky counter reads that
+    outlast the read-level re-reads, crashed workers, corrupt cache
+    files — are retried, and because retries re-run the same pure
+    function, recovered campaigns stay bit-identical.  All incidents
+    accumulate in ``failure_report``; a campaign that exhausts its
+    budget raises :class:`~repro.errors.CampaignExecutionError`.
+    ``fail_fast`` aborts suite prefetches at the first such failure
+    instead of continuing with the remaining campaigns.
     """
 
     def __init__(
@@ -123,12 +140,17 @@ class Laboratory:
         machine_seed: int = 1,
         cache_dir: str | Path | None = None,
         workers: int = 0,
+        max_retries: int | None = None,
+        fail_fast: bool = False,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.scale = scale if scale is not None else scale_from_env()
         self.machine_seed = machine_seed
         self.workers = workers
+        self.retry_policy = RetryPolicy.from_env(max_retries)
+        self.fail_fast = fail_fast
+        self.failure_report = FailureReport()
         self.machine = XeonE5440(seed=machine_seed)
         self.interferometer = Interferometer(
             self.machine, trace_events=self.scale.trace_events
@@ -177,6 +199,46 @@ class Laboratory:
             self.on_campaign(record)
 
     def _measure_campaign(self, name: str, heap: bool) -> ObservationSet:
+        """Serve one campaign under the retry budget.
+
+        Transient failures re-run the whole (pure) campaign after an
+        exponential backoff; success after retries is recorded as a
+        *recovered* incident, exhaustion as a *failed* one — and raises
+        :class:`~repro.errors.CampaignExecutionError` naming the
+        campaign, instead of leaking a raw traceback.
+        """
+        attempts = 0
+        last_error: TransientError | None = None
+        while True:
+            try:
+                result = self._measure_campaign_once(name, heap)
+                break
+            except TransientError as exc:
+                attempts += 1
+                last_error = exc
+                if attempts > self.retry_policy.max_retries:
+                    self.failure_report.record(
+                        name, "failed", attempts=attempts, error=str(exc),
+                        heap=heap,
+                    )
+                    raise CampaignExecutionError(
+                        f"campaign {name!r} failed after {attempts} "
+                        f"attempt(s): {exc}",
+                        benchmark=name,
+                        attempts=attempts,
+                    ) from exc
+                self.retry_policy.sleep(attempts - 1)
+        if attempts:
+            self.failure_report.record(
+                name,
+                "recovered",
+                attempts=attempts + 1,
+                error=f"transient failure(s), last: {last_error}",
+                heap=heap,
+            )
+        return result
+
+    def _measure_campaign_once(self, name: str, heap: bool) -> ObservationSet:
         """Serve one campaign: disk store first, interferometer on miss."""
         interferometer = self._interferometer_for(heap)
         benchmark = self.benchmark(name)
@@ -261,7 +323,13 @@ class Laboratory:
             return
         if workers == 0:
             for name in to_measure:
-                (self.heap_observations if heap else self.observations)(name)
+                try:
+                    (self.heap_observations if heap else self.observations)(name)
+                except CampaignExecutionError:
+                    # Recorded in failure_report; keep serving the rest
+                    # of the suite unless the caller wants to stop.
+                    if self.fail_fast:
+                        raise
             return
         park = MachinePark(
             machine_seeds=[self.machine_seed],
@@ -276,13 +344,23 @@ class Laboratory:
             randomize_heap=heap,
             workers=workers,
             start_indices={name: len(prefixes[name]) for name in to_measure},
+            retry_policy=self.retry_policy,
+            report=self.failure_report,
+            fail_fast=self.fail_fast,
         )
         elapsed = time.perf_counter() - start
         per_campaign = elapsed / len(to_measure)
         for name in to_measure:
+            suffix = suffixes.get(name)
+            if suffix is None:
+                # The campaign failed after its full retry budget; the
+                # incident is in failure_report.  Cache nothing — a
+                # short observation set must never masquerade as a
+                # complete campaign.
+                continue
             result = ObservationSet(benchmark=name)
             result.extend(prefixes[name])
-            result.extend(suffixes.get(name, ObservationSet(benchmark=name)).observations)
+            result.extend(suffix.observations)
             measured = len(result) - len(prefixes[name])
             if self.store is not None:
                 self.store.save(self._campaign_key(name, heap), result)

@@ -15,14 +15,16 @@ metric vectors, and a reloaded trace is array-equal to the original.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.observations import METRICS, Observation, ObservationSet
-from repro.errors import ReproError
+from repro.errors import CorruptCampaignError, ReproError
 from repro.machine.counters import Counter
 from repro.machine.pmc import Measurement
 from repro.program.tracegen import Trace
@@ -30,7 +32,10 @@ from repro.program.tracegen import Trace
 #: Version 2 adds campaign provenance (measurement protocol + machine
 #: identity) so observation sets measured under different protocols can
 #: no longer be silently mixed on reload.  Version 1 files (no
-#: provenance) are still readable.
+#: provenance) are still readable.  Within version 2, an optional
+#: ``checksum`` field (written since the fault-tolerance layer landed)
+#: lets the loader detect in-place corruption; files without it load
+#: unverified, so older caches stay valid.
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 
@@ -70,31 +75,75 @@ class CampaignProvenance:
         )
 
 
+def _records_checksum(records: list[dict]) -> str:
+    """Content digest of the observation records (the envelope payload).
+
+    Guards against silent in-place corruption of a stored campaign —
+    bit flips or hand edits that still parse as JSON are detected on
+    load and the file quarantined instead of poisoning a run.
+    """
+    canonical = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _observation_records(observations: ObservationSet) -> list[dict]:
+    return [
+        {
+            "layout_index": obs.layout_index,
+            "layout_seed": obs.layout_seed,
+            "heap_seed": obs.heap_seed,
+            "fingerprint": obs.measurement.executable_fingerprint,
+            "counters": {
+                event.value: count
+                for event, count in obs.measurement.counters.items()
+            },
+        }
+        for obs in observations
+    ]
+
+
+def dump_campaign(
+    observations: ObservationSet,
+    provenance: CampaignProvenance | None = None,
+) -> str:
+    """Serialize an observation set to its JSON envelope (with checksum)."""
+    records = _observation_records(observations)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "benchmark": observations.benchmark,
+        "provenance": None if provenance is None else provenance.to_json(),
+        "checksum": _records_checksum(records),
+        "observations": records,
+    }
+    return json.dumps(payload, indent=1)
+
+
+def write_atomic(path: str | Path, text: str) -> None:
+    """Write *text* durably: temp file in the same directory + rename.
+
+    A process killed mid-write can never leave a half-written file at
+    *path* — either the old content survives or the new content is
+    complete.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
 def save_observations(
     observations: ObservationSet,
     path: str | Path,
     provenance: CampaignProvenance | None = None,
 ) -> None:
-    """Write an observation set as JSON (format version 2)."""
-    payload = {
-        "format_version": _FORMAT_VERSION,
-        "benchmark": observations.benchmark,
-        "provenance": None if provenance is None else provenance.to_json(),
-        "observations": [
-            {
-                "layout_index": obs.layout_index,
-                "layout_seed": obs.layout_seed,
-                "heap_seed": obs.heap_seed,
-                "fingerprint": obs.measurement.executable_fingerprint,
-                "counters": {
-                    event.value: count
-                    for event, count in obs.measurement.counters.items()
-                },
-            }
-            for obs in observations
-        ],
-    }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    """Write an observation set as JSON (format version 2, atomically)."""
+    write_atomic(path, dump_campaign(observations, provenance=provenance))
 
 
 def load_campaign(
@@ -105,11 +154,21 @@ def load_campaign(
     Accepts both format versions: version 1 files carry no provenance
     and yield ``None``; version 2 files yield the recorded
     :class:`CampaignProvenance` (or ``None`` if the writer omitted it).
+    Unreadable, truncated, structurally malformed, or checksum-failing
+    files raise :class:`~repro.errors.CorruptCampaignError`, which
+    stores treat as a quarantine-and-re-measure miss; files whose
+    checksum field is absent (older writers) are accepted unverified.
     """
     try:
         payload = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise ReproError(f"cannot read observation set from {path}: {exc}") from exc
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptCampaignError(
+            f"cannot read observation set from {path}: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CorruptCampaignError(
+            f"{path}: expected a JSON object envelope, got {type(payload).__name__}"
+        )
     version = payload.get("format_version")
     if version not in _SUPPORTED_VERSIONS:
         raise ReproError(
@@ -121,31 +180,50 @@ def load_campaign(
         try:
             provenance = CampaignProvenance.from_json(payload["provenance"])
         except (KeyError, TypeError, ValueError) as exc:
-            raise ReproError(f"{path}: malformed provenance block: {exc}") from exc
-    observations = ObservationSet(benchmark=payload["benchmark"])
-    for record in payload["observations"]:
-        counters = {
-            Counter(name): int(count) for name, count in record["counters"].items()
-        }
-        observations.append(
-            Observation(
-                layout_index=int(record["layout_index"]),
-                layout_seed=int(record["layout_seed"]),
-                heap_seed=(
-                    None if record["heap_seed"] is None else int(record["heap_seed"])
-                ),
-                measurement=Measurement(
-                    executable_fingerprint=record["fingerprint"],
+            raise CorruptCampaignError(
+                f"{path}: malformed provenance block: {exc}"
+            ) from exc
+    try:
+        records = payload["observations"]
+        stored_checksum = payload.get("checksum")
+        if stored_checksum is not None:
+            actual = _records_checksum(records)
+            if actual != stored_checksum:
+                raise CorruptCampaignError(
+                    f"{path}: payload checksum mismatch (stored "
+                    f"{stored_checksum}, computed {actual}); file is corrupt"
+                )
+        observations = ObservationSet(benchmark=payload["benchmark"])
+        for record in records:
+            counters = {
+                Counter(name): int(count)
+                for name, count in record["counters"].items()
+            }
+            observations.append(
+                Observation(
+                    layout_index=int(record["layout_index"]),
                     layout_seed=int(record["layout_seed"]),
                     heap_seed=(
                         None
                         if record["heap_seed"] is None
                         else int(record["heap_seed"])
                     ),
-                    counters=counters,
-                ),
+                    measurement=Measurement(
+                        executable_fingerprint=record["fingerprint"],
+                        layout_seed=int(record["layout_seed"]),
+                        heap_seed=(
+                            None
+                            if record["heap_seed"] is None
+                            else int(record["heap_seed"])
+                        ),
+                        counters=counters,
+                    ),
+                )
             )
-        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CorruptCampaignError(
+            f"{path}: malformed observation records: {exc}"
+        ) from exc
     return observations, provenance
 
 

@@ -29,18 +29,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro import faults
 from repro.core.observations import Observation, ObservationSet
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, CorruptCampaignError, ReproError
 from repro.persistence import (
     _FORMAT_VERSION,
     CampaignProvenance,
+    dump_campaign,
     load_campaign,
-    save_observations,
+    write_atomic,
 )
+
+_LOG = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.interferometer import Interferometer
@@ -114,11 +120,15 @@ class StoreStats:
     misses: int = 0
     layouts_loaded: int = 0
     layouts_measured: int = 0
+    quarantined: int = 0
 
     def summary(self) -> str:
         """One-line rendering for CLI summaries."""
+        quarantine = (
+            f", {self.quarantined} quarantined" if self.quarantined else ""
+        )
         return (
-            f"{self.hits} hits, {self.misses} misses; "
+            f"{self.hits} hits, {self.misses} misses{quarantine}; "
             f"{self.layouts_loaded} layouts loaded, "
             f"{self.layouts_measured} measured"
         )
@@ -141,17 +151,55 @@ class CampaignStore:
         """Store file of one campaign."""
         return self.root / key.filename
 
+    def quarantine(self, path: Path, reason: str) -> Path | None:
+        """Move a corrupt store file aside so it can never poison a run.
+
+        The file is renamed to ``<name>.corrupt-<digest>`` (deleted if
+        even the rename fails) and a warning logged; the caller then
+        treats the campaign as a miss and re-measures.  Returns the
+        quarantine path, or ``None`` if the file could only be removed.
+        """
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()[:8]
+        except OSError:
+            digest = "unreadable"
+        target = path.with_name(f"{path.name}.corrupt-{digest}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return None
+            target = None
+        self.stats.quarantined += 1
+        _LOG.warning(
+            "quarantined corrupt campaign file %s -> %s (%s); "
+            "the campaign will be re-measured",
+            path,
+            target if target is not None else "<deleted>",
+            reason,
+        )
+        return target
+
     def load(self, key: CampaignKey) -> ObservationSet | None:
         """The stored campaign for *key*, or ``None`` if absent.
 
-        The persisted provenance is checked against the key; a mismatch
+        An unreadable, truncated, or checksum-failing file is
+        *quarantined* and treated as a miss — corruption costs a
+        re-measurement, never a crash or a poisoned result.  The
+        persisted provenance is checked against the key; a mismatch
         (a file placed or edited by hand) raises rather than silently
         mixing observation sets measured under different protocols.
         """
         path = self.path_for(key)
         if not path.exists():
             return None
-        observations, provenance = load_campaign(path)
+        try:
+            observations, provenance = load_campaign(path)
+        except CorruptCampaignError as exc:
+            self.quarantine(path, reason=str(exc))
+            return None
         if observations.benchmark != key.benchmark:
             raise ReproError(
                 f"{path}: stored campaign is for {observations.benchmark!r}, "
@@ -165,16 +213,28 @@ class CampaignStore:
         return observations
 
     def save(self, key: CampaignKey, observations: ObservationSet) -> Path:
-        """Persist a campaign (atomically: write then rename)."""
+        """Persist a campaign atomically.
+
+        The payload is written to a temp file in the store directory,
+        fsynced, and renamed over the target with ``os.replace`` — a
+        killed process leaves either the previous file or the complete
+        new one, never a torn write.  (An injected
+        :class:`~repro.faults.FaultPlan` may still deliver a truncated
+        payload, exercising the checksum + quarantine recovery path.)
+        """
         if observations.benchmark != key.benchmark:
             raise ConfigurationError(
                 f"observation set is for {observations.benchmark!r}, "
                 f"key is for {key.benchmark!r}"
             )
         path = self.path_for(key)
-        tmp = path.with_suffix(".json.tmp")
-        save_observations(observations, tmp, provenance=key.provenance)
-        tmp.replace(path)
+        payload = dump_campaign(observations, provenance=key.provenance)
+        plan = faults.active_plan()
+        if plan is not None:
+            payload = plan.torn_payload(
+                payload, key=key.filename, benchmark=key.benchmark
+            )
+        write_atomic(path, payload)
         return path
 
     def sink(self, key: CampaignKey) -> Callable[[ObservationSet], None]:
