@@ -13,10 +13,9 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Callable
 
-from repro import faults
+from repro import faults, telemetry
 from repro.errors import (
     CampaignExecutionError,
     ConfigurationError,
@@ -291,7 +290,7 @@ def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
 
     failed_experiments: list[str] = []
     for name in names:
-        start = time.time()
+        start = telemetry.tick_seconds()
         try:
             result = EXPERIMENTS[name](lab)
         except (CampaignExecutionError, SuiteExecutionError) as exc:
@@ -304,7 +303,7 @@ def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
             if args.fail_fast:
                 break
             continue
-        elapsed = time.time() - start
+        elapsed = telemetry.tick_seconds() - start
         print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * 40)
         print(result.render())
 
@@ -343,6 +342,33 @@ def _print_summary(lab: Laboratory) -> None:
     )
     if lab.store is not None:
         print(f"campaign store: {lab.store.stats.summary()}")
+
+
+def cli_main(argv: list[str] | None = None) -> int:
+    """``repro-cli`` dispatcher: subcommands over the library's tools.
+
+    ``repro-cli lint …`` runs the determinism linter; ``repro-cli run …``
+    (or any experiment names directly) forwards to the experiment CLI,
+    so ``repro-cli fig2`` and ``repro-interferometry fig2`` are
+    equivalent.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
+    if argv and argv[0] == "run":
+        argv = argv[1:]
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: repro-cli <subcommand|experiment> [options]\n\n"
+            "subcommands:\n"
+            "  lint   static determinism linter (see 'repro-cli lint --help')\n"
+            "  run    regenerate paper experiments (the default; see\n"
+            "         'repro-cli run --help')\n"
+        )
+        return EXIT_OK
+    return main(argv)
 
 
 if __name__ == "__main__":

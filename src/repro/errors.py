@@ -80,6 +80,22 @@ class SuiteExecutionError(ReproError):
         self.report = report
 
 
+class DeterminismViolation(ReproError):
+    """Nondeterministic runtime behaviour trapped by the sanitizer.
+
+    Raised when :class:`~repro.lint.sanitizer.DeterminismSanitizer` is
+    active and library code reaches for a determinism hazard — global
+    RNG state, the wall clock, an unsorted directory scan — instead of
+    the sanctioned substitutes (:mod:`repro.rng`,
+    :mod:`repro.telemetry`, ``sorted(...)``).  This is always a bug in
+    the reproduction, never a recoverable condition.
+    """
+
+
+class LintUsageError(ReproError):
+    """The determinism linter was invoked with invalid arguments."""
+
+
 class ModelError(ReproError):
     """A statistical model could not be fit or queried."""
 

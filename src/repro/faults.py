@@ -267,6 +267,7 @@ def active_plan() -> FaultPlan | None:
     """
     global _active
     if _active is _UNSET:
+        # repro: allow-DET005 REPRO_FAULT_PLAN is the documented fault-injection channel, read once and cached so every retry sees the same plan
         _active = FaultPlan.from_spec(os.environ.get("REPRO_FAULT_PLAN", ""))
     return _active  # type: ignore[return-value]
 
@@ -317,6 +318,7 @@ def plan_scope(plan: FaultPlan | None) -> Iterator[None]:
 
 def max_retries_from_env(default: int = DEFAULT_MAX_RETRIES) -> int:
     """The campaign retry budget from ``REPRO_MAX_RETRIES`` (or *default*)."""
+    # repro: allow-DET005 retry budget is configuration resolved once at RetryPolicy construction, never per-measurement
     raw = os.environ.get("REPRO_MAX_RETRIES")
     if raw is None:
         return default

@@ -9,11 +9,11 @@ test runs.  Select with the ``REPRO_SCALE`` environment variable.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro import telemetry
 from repro.core.evaluate import PredictorEvaluation, PredictorEvaluator
 from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
@@ -242,7 +242,7 @@ class Laboratory:
         """Serve one campaign: disk store first, interferometer on miss."""
         interferometer = self._interferometer_for(heap)
         benchmark = self.benchmark(name)
-        start = time.perf_counter()
+        start = telemetry.tick_seconds()
         if self.store is None:
             result = interferometer.observe(
                 benchmark, n_layouts=self.scale.n_layouts
@@ -259,7 +259,7 @@ class Laboratory:
                 self._campaign_key(name, heap), self.scale.n_layouts, measure
             )
             measured = self.store.stats.layouts_measured - before
-        self._record(name, heap, measured, time.perf_counter() - start)
+        self._record(name, heap, measured, telemetry.tick_seconds() - start)
         return result
 
     def observations(self, name: str) -> ObservationSet:
@@ -309,13 +309,13 @@ class Laboratory:
             prefix = [] if stored is None else list(stored.observations)
             if len(prefix) >= self.scale.n_layouts:
                 # Fully stored: serve it without measuring (a hit).
-                start = time.perf_counter()
+                start = telemetry.tick_seconds()
                 result = ObservationSet(benchmark=name)
                 result.extend(prefix[: self.scale.n_layouts])
                 self.store.stats.hits += 1
                 self.store.stats.layouts_loaded += len(result)
                 memory[name] = result
-                self._record(name, heap, 0, time.perf_counter() - start)
+                self._record(name, heap, 0, telemetry.tick_seconds() - start)
             else:
                 prefixes[name] = prefix
         to_measure = list(prefixes)
@@ -337,7 +337,7 @@ class Laboratory:
             trace_events=self.scale.trace_events,
             runs_per_group=self.interferometer.runs_per_group,
         )
-        start = time.perf_counter()
+        start = telemetry.tick_seconds()
         suffixes = park.observe_suite(
             to_measure,
             n_layouts=self.scale.n_layouts,
@@ -348,7 +348,7 @@ class Laboratory:
             report=self.failure_report,
             fail_fast=self.fail_fast,
         )
-        elapsed = time.perf_counter() - start
+        elapsed = telemetry.tick_seconds() - start
         per_campaign = elapsed / len(to_measure)
         for name in to_measure:
             suffix = suffixes.get(name)

@@ -1,0 +1,294 @@
+"""The determinism-lint engine: discovery, parsing, suppressions, baseline.
+
+One :class:`LintEngine` scans a set of files or directory trees, runs
+every applicable rule over each parsed module, and applies two
+filtering layers:
+
+* **inline suppressions** — ``# repro: allow-DET00x <reason>`` on the
+  flagged line (or on a comment-only line directly above it) waives a
+  finding.  The reason is mandatory: a suppression without a
+  justification does not suppress, it annotates the finding instead,
+  so every waiver in the tree is reviewable.
+* **baseline** — a checked-in JSON file of grandfathered finding
+  fingerprints (hash of path, rule, source text — robust to line
+  drift).  Findings present in the baseline are reported separately
+  and do not fail the run; new findings do.
+
+The engine's own directory walk is ``sorted`` — the linter practices
+the determinism it preaches.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintUsageError
+from repro.lint.rules import Rule, RuleContext, all_rules
+from repro.lint.rules.base import Finding, annotate_parents
+
+#: Inline suppression syntax: ``# repro: allow-DET001 <one-line reason>``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow-(?P<rule>DET\d{3})(?:\s+(?P<reason>\S.*))?"
+)
+
+#: Default baseline filename (repo root, checked in).
+DEFAULT_BASELINE = "repro-lint-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow-…`` comment."""
+
+    rule: str
+    reason: str  # empty when the justification is missing
+    line: int
+
+
+def parse_suppressions(lines: Sequence[str]) -> dict[int, list[Suppression]]:
+    """Map *effective* line number -> suppressions covering that line.
+
+    A suppression on a code line covers that line; one on a
+    comment-only line covers the next line, so block-style waivers read
+    naturally above the offending statement.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    for index, raw in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(raw)
+        if match is None:
+            continue
+        target = index + 1 if raw.lstrip().startswith("#") else index
+        by_line.setdefault(target, []).append(
+            Suppression(
+                rule=match.group("rule"),
+                reason=(match.group("reason") or "").strip(),
+                line=index,
+            )
+        )
+    return by_line
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  # new, unsuppressed
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no *new* findings survived filtering."""
+        return not self.findings
+
+
+class LintEngine:
+    """Run determinism rules over files and trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(all_rules() if rules is None else rules)
+
+    # -- discovery -----------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Iterable[str | Path]) -> list[Path]:
+        """Python files under *paths*, deterministically ordered."""
+        files: list[Path] = []
+        for entry in paths:
+            path = Path(entry)
+            if path.is_dir():
+                files.extend(
+                    p
+                    for p in sorted(path.rglob("*.py"))
+                    if "__pycache__" not in p.parts
+                )
+            elif path.suffix == ".py" and path.exists():
+                files.append(path)
+            elif not path.exists():
+                raise LintUsageError(f"no such file or directory: {path}")
+        # De-duplicate while preserving the sorted-per-root order.
+        return list(dict.fromkeys(files))
+
+    # -- single file ---------------------------------------------------
+
+    def lint_file(self, path: Path) -> tuple[list[Finding], list[Finding]]:
+        """Lint one file; returns ``(active, suppressed)`` findings."""
+        rel = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintUsageError(f"cannot read {path}: {exc}") from exc
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            # A file that does not parse cannot be certified; surface it
+            # as a finding rather than aborting the whole run.
+            return (
+                [
+                    Finding(
+                        rule="DET000",
+                        severity="error",
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}",
+                        hint="fix the syntax error so the file can be linted",
+                        text="",
+                    )
+                ],
+                [],
+            )
+        annotate_parents(tree)
+        ctx = RuleContext(rel=rel, tree=tree, lines=lines)
+        suppressions = parse_suppressions(lines)
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        for rule in self.rules:
+            if not rule.applies(rel):
+                continue
+            for finding in rule.check(ctx):
+                waiver = next(
+                    (
+                        s
+                        for s in suppressions.get(finding.line, [])
+                        if s.rule == finding.rule
+                    ),
+                    None,
+                )
+                if waiver is not None and waiver.reason:
+                    suppressed.append(
+                        dataclasses.replace(
+                            finding,
+                            suppressed=True,
+                            suppress_reason=waiver.reason,
+                        )
+                    )
+                elif waiver is not None:
+                    active.append(
+                        dataclasses.replace(
+                            finding,
+                            message=finding.message
+                            + " [suppression ignored: missing reason]",
+                        )
+                    )
+                else:
+                    active.append(finding)
+        return active, suppressed
+
+    # -- tree ----------------------------------------------------------
+
+    def run(
+        self,
+        paths: Iterable[str | Path],
+        baseline: "Baseline | None" = None,
+    ) -> LintResult:
+        """Lint every Python file under *paths* against *baseline*."""
+        result = LintResult()
+        for path in self.discover(paths):
+            active, suppressed = self.lint_file(path)
+            result.suppressed.extend(suppressed)
+            result.files_scanned += 1
+            if baseline is None:
+                result.findings.extend(active)
+            else:
+                fresh, grandfathered = baseline.split(active)
+                result.findings.extend(fresh)
+                result.baselined.extend(grandfathered)
+        result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        result.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return result
+
+
+class Baseline:
+    """Grandfathered findings, keyed by content fingerprint.
+
+    Each fingerprint carries a count so two identical hazards on
+    identical source lines in one file are tracked separately; fixing
+    one surfaces the other.
+    """
+
+    def __init__(self, counts: Counter[str] | None = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly *findings*."""
+        return cls(Counter(f.fingerprint() for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (empty baseline when absent)."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("version") != _BASELINE_VERSION:
+                raise LintUsageError(
+                    f"{path}: unsupported baseline version "
+                    f"{payload.get('version')!r}"
+                )
+            counts = Counter(
+                {
+                    str(entry["fingerprint"]): int(entry.get("count", 1))
+                    for entry in payload["entries"]
+                }
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise LintUsageError(f"{path}: malformed baseline: {exc}") from exc
+        return cls(counts)
+
+    @staticmethod
+    def write(path: str | Path, findings: Iterable[Finding]) -> None:
+        """Write a baseline grandfathering *findings* (sorted, stable)."""
+        grouped: dict[str, dict] = {}
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        ):
+            fp = finding.fingerprint()
+            entry = grouped.setdefault(
+                fp,
+                {
+                    "fingerprint": fp,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "text": finding.text,
+                    "count": 0,
+                },
+            )
+            entry["count"] += 1
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": sorted(grouped.values(), key=lambda e: e["fingerprint"]),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered) against this baseline."""
+        budget = Counter(self.counts)
+        fresh: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered

@@ -1,0 +1,100 @@
+"""Rendering lint results: human-readable text and ``--json``.
+
+The JSON schema (version 1) is stable for CI consumption::
+
+    {
+      "version": 1,
+      "clean": bool,
+      "files_scanned": int,
+      "summary": {"findings": int, "baselined": int, "suppressed": int,
+                  "by_rule": {"DET001": int, ...}},
+      "findings": [{"rule", "severity", "path", "line", "col",
+                    "message", "hint", "fingerprint"}, ...],
+      "rules": {"DET001": {"title", "severity", "rationale", "hint"}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import Rule, all_rules
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    out: list[str] = []
+    for finding in result.findings:
+        out.append(
+            f"{finding.location()}: {finding.rule} {finding.severity}: "
+            f"{finding.message}"
+        )
+        out.append(f"    hint: {finding.hint}")
+    if verbose:
+        for finding in result.suppressed:
+            out.append(
+                f"{finding.location()}: {finding.rule} suppressed: "
+                f"{finding.message} (reason: {finding.suppress_reason})"
+            )
+        for finding in result.baselined:
+            out.append(
+                f"{finding.location()}: {finding.rule} baselined: "
+                f"{finding.message}"
+            )
+    counts = Counter(f.rule for f in result.findings)
+    by_rule = (
+        " (" + ", ".join(f"{r}: {n}" for r, n in sorted(counts.items())) + ")"
+        if counts
+        else ""
+    )
+    out.append(
+        f"{result.files_scanned} files scanned: "
+        f"{len(result.findings)} finding(s){by_rule}, "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(out)
+
+
+def render_json(result: LintResult, rules: Sequence[Rule] | None = None) -> str:
+    """Machine-readable report (schema above, sorted keys, stable bytes)."""
+    rules = list(all_rules() if rules is None else rules)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "clean": result.clean,
+        "files_scanned": result.files_scanned,
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "by_rule": dict(
+                sorted(Counter(f.rule for f in result.findings).items())
+            ),
+        },
+        "findings": [f.to_json() for f in result.findings],
+        "rules": {
+            rule.id: {
+                "title": rule.title,
+                "severity": rule.severity,
+                "rationale": rule.rationale,
+                "hint": rule.hint,
+            }
+            for rule in rules
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def render_rule_list(rules: Sequence[Rule] | None = None) -> str:
+    """``--list-rules`` output: id, severity, title, rationale."""
+    rules = list(all_rules() if rules is None else rules)
+    out = []
+    for rule in rules:
+        out.append(f"{rule.id} [{rule.severity}] {rule.title}")
+        out.append(f"    {rule.rationale}")
+    return "\n".join(out)

@@ -1,0 +1,23 @@
+"""Determinism rules: one module per ``DET00x`` rule.
+
+Importing this package registers every rule; the engine then iterates
+:func:`~repro.lint.rules.base.all_rules`.
+"""
+
+from repro.lint.rules import (  # noqa: F401 - imported for registration
+    det001_randomness,
+    det002_wallclock,
+    det003_iteration,
+    det004_mutable_state,
+    det005_env,
+    det006_json_ordering,
+)
+from repro.lint.rules.base import (
+    Finding,
+    Rule,
+    RuleContext,
+    all_rules,
+    get_rules,
+)
+
+__all__ = ["Finding", "Rule", "RuleContext", "all_rules", "get_rules"]

@@ -1,0 +1,238 @@
+"""Rule infrastructure for the determinism linter.
+
+A rule is a small AST pass over one file.  Each rule declares a stable
+id (``DET00x``), a severity, a one-line rationale (why the hazard
+threatens bit-identical reproduction), and a scope predicate selecting
+the files it applies to — e.g. DET004 only polices the measurement
+core (``machine/``, ``uarch/``, ``core/``), while DET001 applies
+everywhere except the sanctioned RNG module.
+
+Rules register themselves via :func:`register`; the engine iterates
+:func:`all_rules` so adding a rule is one new module in this package.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: Severity levels, in increasing order of seriousness.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism hazard at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str  # posix-style path as scanned
+    line: int
+    col: int
+    message: str
+    hint: str
+    text: str = ""  # stripped source line (baseline fingerprinting)
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes (path, rule, source text) rather than the line number,
+        so unrelated edits that shift a grandfathered finding up or
+        down the file do not invalidate the baseline.
+        """
+        payload = f"{self.path}::{self.rule}::{self.text}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        """``path:line:col`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> dict:
+        """Machine-readable form (``--json`` output schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def has_segment(rel: str, segment: str) -> bool:
+    """True if *segment* occurs on a path-component boundary of *rel*.
+
+    ``has_segment("src/repro/machine/pmc.py", "repro/machine")`` is
+    true; substring matches that cross component boundaries are not.
+    """
+    return f"/{segment}/" in f"/{rel.strip('/')}/"
+
+
+def basename(rel: str) -> str:
+    """Final path component of a posix-style relative path."""
+    return rel.rsplit("/", 1)[-1]
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule needs to check one file."""
+
+    rel: str  # posix-style path, as reported in findings
+    tree: ast.AST  # parsed module, with .parent links annotated
+    lines: list[str] = field(default_factory=list)
+
+    def source_text(self, node: ast.AST) -> str:
+        """Stripped source line a node sits on (empty when unknown)."""
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for determinism rules."""
+
+    id: str = "DET000"
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+    hint: str = ""
+
+    def applies(self, rel: str) -> bool:
+        """Whether this rule polices the file at *rel* (default: all)."""
+        return True
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: RuleContext,
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at *node*."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            text=ctx.source_text(node),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (one shared instance) to the registry."""
+    instance = cls()
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in rule-id order."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Iterable[str] | None = None) -> list[Rule]:
+    """The rules named by *ids* (all of them when ``None``)."""
+    if ids is None:
+        return all_rules()
+    rules = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+        rules.append(_REGISTRY[rule_id])
+    return rules
+
+
+class ImportTable(ast.NodeVisitor):
+    """Resolve local names to the canonical modules they denote.
+
+    Handles ``import random``, ``import numpy as np``,
+    ``from random import shuffle``, ``from numpy import random as nr``
+    and the like, so rules can match calls by canonical dotted name
+    (``numpy.random.seed``) regardless of aliasing.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}  # local name -> canonical dotted
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an expression, or ``None``.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when
+        ``np`` aliases ``numpy``; a bare ``shuffle`` resolves to
+        ``random.shuffle`` when imported from :mod:`random`.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ImportTable":
+        """Build the import table of a parsed module."""
+        table = cls()
+        table.visit(tree)
+        return table
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a ``.parent`` attribute to every node in *tree*."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+
+
+def is_sorted_wrapped(node: ast.AST) -> bool:
+    """True when *node* is directly an argument of ``sorted(...)``.
+
+    The canonical fix for an order-unstable scan — ``sorted(p.glob(x))``
+    — must not itself be flagged.
+    """
+    parent = getattr(node, "parent", None)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "sorted"
+        and node in parent.args
+    )

@@ -1,0 +1,198 @@
+"""Runtime reproducibility sanitizer: trap determinism hazards as they run.
+
+The static linter proves the *source* clean; the sanitizer proves the
+*execution* clean.  While a :class:`DeterminismSanitizer` is active,
+the global-RNG functions, wall-clock reads, and unsorted directory
+scans that rules DET001–DET003 flag statically are patched to raise
+:class:`~repro.errors.DeterminismViolation` — but only when the caller
+is ``repro`` library code.  Third-party frames (pytest, hypothesis,
+numpy internals) pass through untouched, so the whole tier-1 suite can
+run sanitized (``REPRO_SANITIZE=1``) without false positives.
+
+Sanctioned modules are exempt by construction: :mod:`repro.telemetry`
+may read the clock, and :mod:`repro.rng` never touches the patched
+globals in the first place.
+
+Enable per-process via the environment (the tests' conftest installs a
+session-scoped fixture)::
+
+    REPRO_SANITIZE=1 python -m pytest -x -q
+
+or locally around any block::
+
+    with DeterminismSanitizer():
+        lab.observations("400.perlbench")
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pathlib
+import random
+import sys
+import time
+import uuid
+from typing import Callable, Iterable
+
+from repro.errors import DeterminismViolation
+
+__all__ = ["DeterminismSanitizer", "sanitize_requested"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Directory of the repro package (``.../src/repro``).
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Files inside the package sanctioned to call patched functions.
+_ALLOWED_SUFFIXES = (
+    os.path.join("repro", "telemetry.py"),
+    os.path.join("repro", "rng.py"),
+)
+
+#: The lint package itself is exempt at runtime: its directory walk is
+#: sorted by construction, and trapping it would make the linter unable
+#: to run under the sanitizer it ships.
+_ALLOWED_DIRS = (os.path.join(_REPRO_ROOT, "lint") + os.sep,)
+
+_RANDOM_FNS = (
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+)
+
+_TIME_FNS = (
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "time", "time_ns",
+)
+
+_NUMPY_RANDOM_FNS = (
+    "choice", "normal", "permutation", "rand", "randint", "randn",
+    "random", "seed", "shuffle", "standard_normal", "uniform",
+)
+
+
+def sanitize_requested(env: os._Environ | dict = os.environ) -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for a sanitized run."""
+    return str(env.get("REPRO_SANITIZE", "")).strip().lower() in _TRUTHY
+
+
+class DeterminismSanitizer:
+    """Context manager patching determinism hazards to raise.
+
+    Patches are process-global but *violations* are caller-scoped: a
+    patched function raises only when its immediate caller is a frame
+    inside the ``repro`` package (excluding the sanctioned telemetry
+    and RNG modules, this file, and any ``extra_allowed`` paths).
+    Instances nest safely — each restores exactly what it patched.
+    """
+
+    def __init__(self, extra_allowed: Iterable[str] = ()) -> None:
+        self._extra_allowed = tuple(os.path.abspath(p) for p in extra_allowed)
+        self._patches: list[tuple[object, str, object]] = []
+        self.violations: list[str] = []  # messages raised while active
+
+    # -- caller classification ----------------------------------------
+
+    def _offending_frame(self) -> str | None:
+        """Filename of the calling repro frame, or ``None`` if exempt."""
+        frame = sys._getframe(1)
+        # Skip our own wrapper frames.
+        while frame is not None and frame.f_code.co_filename == __file__:
+            frame = frame.f_back
+        if frame is None:
+            return None
+        filename = os.path.abspath(frame.f_code.co_filename)
+        if not filename.startswith(_REPRO_ROOT + os.sep):
+            return None
+        if any(filename.endswith(suffix) for suffix in _ALLOWED_SUFFIXES):
+            return None
+        if any(filename.startswith(prefix) for prefix in _ALLOWED_DIRS):
+            return None
+        if filename in self._extra_allowed:
+            return None
+        return filename
+
+    # -- patch plumbing ------------------------------------------------
+
+    def _guard(
+        self, owner: object, name: str, label: str, hint: str
+    ) -> None:
+        original = getattr(owner, name, None)
+        if original is None:  # pragma: no cover - platform-dependent attrs
+            return
+
+        def guarded(*args, **kwargs):
+            offender = self._offending_frame()
+            if offender is not None:
+                message = (
+                    f"sanitizer trapped {label} called from {offender}; "
+                    f"{hint}"
+                )
+                self.violations.append(message)
+                raise DeterminismViolation(message)
+            return original(*args, **kwargs)
+
+        guarded.__name__ = getattr(original, "__name__", name)
+        guarded.__wrapped__ = original  # type: ignore[attr-defined]
+        setattr(owner, name, guarded)
+        self._patches.append((owner, name, original))
+
+    def __enter__(self) -> "DeterminismSanitizer":
+        rng_hint = "use repro.rng.RandomStream instead of global RNG state"
+        clock_hint = "route telemetry through repro.telemetry"
+        scan_hint = "wrap the scan in sorted(...) before iterating"
+        for fn in _RANDOM_FNS:
+            self._guard(random, fn, f"random.{fn}()", rng_hint)
+        self._guard(os, "urandom", "os.urandom()", rng_hint)
+        self._guard(uuid, "uuid4", "uuid.uuid4()", rng_hint)
+        self._guard(uuid, "uuid1", "uuid.uuid1()", rng_hint)
+        for fn in _TIME_FNS:
+            self._guard(time, fn, f"time.{fn}()", clock_hint)
+        self._guard(os, "listdir", "os.listdir()", scan_hint)
+        self._guard(os, "scandir", "os.scandir()", scan_hint)
+        self._guard(glob, "glob", "glob.glob()", scan_hint)
+        self._guard(glob, "iglob", "glob.iglob()", scan_hint)
+        for method in ("iterdir", "glob", "rglob"):
+            self._guard(
+                pathlib.Path, method, f"pathlib.Path.{method}()", scan_hint
+            )
+        try:
+            import numpy.random as numpy_random
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            numpy_random = None
+        if numpy_random is not None:
+            for fn in _NUMPY_RANDOM_FNS:
+                self._guard(
+                    numpy_random,
+                    fn,
+                    f"numpy.random.{fn}()",
+                    rng_hint + " (or an explicitly seeded Generator)",
+                )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        while self._patches:
+            owner, name, original = self._patches.pop()
+            setattr(owner, name, original)
+
+
+_ACTIVE: DeterminismSanitizer | None = None
+
+
+def enable() -> DeterminismSanitizer:
+    """Install a process-wide sanitizer (idempotent)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = DeterminismSanitizer().__enter__()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the process-wide sanitizer installed by :func:`enable`."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.__exit__(None, None, None)
+        _ACTIVE = None

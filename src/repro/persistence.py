@@ -115,7 +115,9 @@ def dump_campaign(
         "checksum": _records_checksum(records),
         "observations": records,
     }
-    return json.dumps(payload, indent=1)
+    # sort_keys keeps the envelope byte-stable regardless of the order
+    # this dict (or a future caller's) was constructed in (DET006).
+    return json.dumps(payload, indent=1, sort_keys=True)
 
 
 def write_atomic(path: str | Path, text: str) -> None:

@@ -1,0 +1,41 @@
+"""Sanctioned wall-clock access for human-facing telemetry.
+
+Every observation in this reproduction must be a pure function of
+(machine seed, benchmark, layout index) — a wall-clock read inside a
+measurement or persistence path silently breaks that invariant and
+with it the campaign store, retry recovery, and serial/parallel
+equivalence.  The *only* legitimate consumers of real time are
+progress lines and throughput summaries: numbers a human reads once
+and that never feed back into results.
+
+Those reads are concentrated here so that the rest of the codebase can
+be certified clock-free, both statically (rule DET002 of
+:mod:`repro.lint` allowlists exactly this module) and at runtime
+(:class:`repro.lint.sanitizer.DeterminismSanitizer` patches the clock
+functions to raise everywhere in ``repro`` except here).
+
+If you are about to import :mod:`time` somewhere else in ``repro``,
+you are either adding telemetry (route it through this module) or
+about to introduce a reproducibility bug (don't).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["tick_seconds", "wall_seconds"]
+
+
+def tick_seconds() -> float:
+    """Monotonic timestamp for elapsed-time telemetry.
+
+    Differences between two calls give wall-clock durations for
+    progress logs and layouts/s summaries.  Never use the result as an
+    input to anything that is measured, persisted, or compared.
+    """
+    return time.perf_counter()
+
+
+def wall_seconds() -> float:
+    """Absolute wall-clock timestamp (telemetry and log stamps only)."""
+    return time.time()

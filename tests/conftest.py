@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.lab import Laboratory, Scale
+from repro.lint.sanitizer import DeterminismSanitizer, sanitize_requested
 from repro.machine.system import XeonE5440
 from repro.program.behavior import BiasedBehavior, LoopBehavior
 from repro.program.structure import (
@@ -24,6 +25,22 @@ from repro.program.structure import (
 from repro.program.tracegen import generate_trace
 from repro.toolchain.camino import Camino
 from repro.workloads.suite import get_benchmark
+
+@pytest.fixture(scope="session", autouse=True)
+def determinism_sanitizer():
+    """Run the whole suite sanitized when ``REPRO_SANITIZE=1``.
+
+    Any repro-library frame that reaches for global RNG state, the
+    wall clock, or an unsorted directory scan raises
+    :class:`~repro.errors.DeterminismViolation` on the spot; test and
+    third-party frames are exempt.
+    """
+    if sanitize_requested():
+        with DeterminismSanitizer():
+            yield
+    else:
+        yield
+
 
 #: Test-tier scale: small enough for CI, big enough for significance.
 TEST_SCALE = Scale(
