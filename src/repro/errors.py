@@ -22,8 +22,13 @@ class TransientError(ReproError):
     """
 
 
-class ConfigurationError(ReproError):
-    """A component was constructed with invalid or inconsistent parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid or inconsistent parameters.
+
+    Also a :class:`ValueError`: invalid-parameter errors historically
+    raised ``ValueError``, and callers catching that keep working while
+    the campaign path (EXC001) sees a classifiable ReproError.
+    """
 
 
 class LinkError(ReproError):
@@ -100,5 +105,28 @@ class ModelError(ReproError):
     """A statistical model could not be fit or queried."""
 
 
-class WorkloadError(ReproError):
-    """A benchmark specification is unknown or malformed."""
+class WorkloadError(ReproError, ValueError):
+    """A benchmark specification is unknown or malformed.
+
+    Also a :class:`ValueError` for compatibility with callers that
+    predate the exception contract.
+    """
+
+
+class StreamError(ReproError, ValueError):
+    """A :mod:`repro.rng` stream was constructed or used incorrectly.
+
+    Also a :class:`ValueError` for compatibility with callers that
+    predate the exception contract.
+    """
+
+
+class UnknownBenchmarkError(ReproError, KeyError):
+    """A benchmark name has no entry in the table being consulted.
+
+    Also a :class:`KeyError` — lookup call sites historically raised
+    ``KeyError`` and some callers catch it by that name.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr-quotes the message
+        return Exception.__str__(self)

@@ -228,21 +228,26 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"fault plan entry {part!r} is not of the form field=value"
                 )
+            if name == "hard_crash":
+                kwargs[name] = value.lower() in ("1", "true", "yes", "on")
+                continue
+            if name in ("crash_benchmarks", "only_benchmarks"):
+                kwargs[name] = tuple(v for v in value.split("+") if v)
+                continue
+            if name != "seed" and name not in _RATE_FIELDS and name != "stall_seconds":
+                raise ConfigurationError(
+                    f"unknown fault plan field {name!r}; known fields: "
+                    f"seed, {', '.join(_RATE_FIELDS)}, stall_seconds, "
+                    f"hard_crash, crash_benchmarks, only_benchmarks"
+                )
+            # ConfigurationError is itself a ValueError, so the numeric
+            # conversions sit alone in this try to avoid re-wrapping the
+            # unknown-field error above.
             try:
                 if name == "seed":
                     kwargs[name] = int(value, 0)
-                elif name in _RATE_FIELDS or name == "stall_seconds":
-                    kwargs[name] = float(value)
-                elif name == "hard_crash":
-                    kwargs[name] = value.lower() in ("1", "true", "yes", "on")
-                elif name in ("crash_benchmarks", "only_benchmarks"):
-                    kwargs[name] = tuple(v for v in value.split("+") if v)
                 else:
-                    raise ConfigurationError(
-                        f"unknown fault plan field {name!r}; known fields: "
-                        f"seed, {', '.join(_RATE_FIELDS)}, stall_seconds, "
-                        f"hard_crash, crash_benchmarks, only_benchmarks"
-                    )
+                    kwargs[name] = float(value)
             except ValueError as exc:
                 raise ConfigurationError(
                     f"bad value for fault plan field {name!r}: {value!r}"

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import UnknownBenchmarkError
 from repro.harness.lab import Laboratory, get_lab
 from repro.harness.report import format_table
 
@@ -37,7 +38,7 @@ class Table1Result:
         for row in self.rows:
             if row.benchmark == name:
                 return row
-        raise KeyError(name)
+        raise UnknownBenchmarkError(f"no Table 1 row for benchmark {name!r}")
 
     def render(self) -> str:
         return format_table(

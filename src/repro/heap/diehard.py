@@ -44,6 +44,7 @@ class SequentialAllocator:
     def __init__(self, heap_base: int = DEFAULT_HEAP_BASE) -> None:
         self.heap_base = heap_base
 
+    # repro: allow-SEED001 interface parity: the baseline allocator ignores the seed by design
     def allocate(self, spec: ProgramSpec, seed: int = 0) -> DataLayout:
         """Place objects back to back in declaration order.
 

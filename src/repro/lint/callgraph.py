@@ -1,0 +1,578 @@
+"""Project-wide symbol table and call graph for whole-program rules.
+
+The per-file DET rules see one module at a time; the interprocedural
+rules (SEED001, PURE001, EXC001, CONC001) need to know *who calls
+whom* across module boundaries.  This module builds that view:
+
+* :class:`Program` — every parsed module, its functions, classes, and
+  import table, indexed so a dotted name (``repro.rng.RandomStream``)
+  or a call expression can be resolved to its definition.
+* :class:`CallGraph` — resolved call edges plus the call *sites*
+  (caller, callee, AST node) the rules reason about, with a
+  deterministic text rendering behind ``repro-cli lint --graph``.
+
+Resolution is deliberately conservative and static:
+
+* ``Name`` calls resolve through the module's import table or to a
+  module-level definition.
+* ``self.method()`` / ``cls.method()`` calls resolve within the
+  enclosing class and its statically resolvable bases.
+* Other attribute calls (``machine.run()``) resolve *dynamically*: the
+  method name is matched against every class in the program that
+  defines it.  Dynamic edges over-approximate — they are included for
+  reachability questions (PURE001) and excluded from precision-
+  sensitive checks (SEED001 call-site threading).
+
+Anything that cannot be resolved is simply absent from the graph;
+rules treat unresolved calls as unknown rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+class ImportTable(ast.NodeVisitor):
+    """Resolve local names to the canonical modules they denote.
+
+    Handles ``import random``, ``import numpy as np``,
+    ``from random import shuffle``, ``from numpy import random as nr``
+    and the like, so rules can match calls by canonical dotted name
+    (``numpy.random.seed``) regardless of aliasing.
+
+    Defined here (the leaf of the lint package's import graph) and
+    re-exported by :mod:`repro.lint.rules.base` — rule modules import
+    this module, so it must not import the rules package back.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}  # local name -> canonical dotted
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an expression, or ``None``.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when
+        ``np`` aliases ``numpy``; a bare ``shuffle`` resolves to
+        ``random.shuffle`` when imported from :mod:`random`.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ImportTable":
+        """Build the import table of a parsed module."""
+        table = cls()
+        table.visit(tree)
+        return table
+
+
+#: Path components that anchor a module name.  ``.../src/repro/x.py``
+#: becomes ``repro.x``; ``tests/test_x.py`` becomes ``tests.test_x``.
+_ROOT_ANCHORS = ("src",)
+_KEPT_ANCHORS = ("tests", "examples", "benchmarks")
+
+
+def module_name(rel: str) -> str:
+    """Derive a dotted module name from a posix path.
+
+    The name only needs to be stable and to agree with how the tree
+    imports itself (``repro.…``); files outside any recognized root
+    fall back to their stem.
+    """
+    parts = [p for p in rel.strip("/").split("/") if p]
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    dotted = parts[:-1] + ([] if stem == "__init__" else [stem])
+    for anchor in _ROOT_ANCHORS:
+        if anchor in dotted[:-1]:
+            index = len(dotted) - 1 - dotted[::-1].index(anchor)
+            tail = dotted[index + 1 :]
+            if tail:
+                return ".".join(tail)
+    for anchor in _KEPT_ANCHORS:
+        if anchor in dotted:
+            index = len(dotted) - 1 - dotted[::-1].index(anchor)
+            return ".".join(dotted[index:])
+    return stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # modname.func or modname.Class.method
+    modname: str
+    rel: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def params(self) -> list[str]:
+        """All declared parameter names, in order (self/cls included)."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return names
+
+    def decorator_names(self) -> list[str]:
+        """Trailing names of the decorators (``abstractmethod``, …)."""
+        names = []
+        for dec in self.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Attribute):
+                names.append(target.attr)
+            elif isinstance(target, ast.Name):
+                names.append(target.id)
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition."""
+
+    qualname: str
+    modname: str
+    rel: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def base_exprs(self) -> list[ast.expr]:
+        return list(self.node.bases)
+
+    def dataclass_decoration(self) -> ast.expr | None:
+        """The ``@dataclass`` / ``@dataclass(...)`` decorator, if any."""
+        for dec in self.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name == "dataclass":
+                return dec
+        return None
+
+    @property
+    def is_dataclass(self) -> bool:
+        return self.dataclass_decoration() is not None
+
+    @property
+    def is_frozen_dataclass(self) -> bool:
+        dec = self.dataclass_decoration()
+        if not isinstance(dec, ast.Call):
+            return False
+        return any(
+            kw.arg == "frozen"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in dec.keywords
+        )
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level symbols."""
+
+    rel: str
+    modname: str
+    tree: ast.Module
+    lines: list[str]
+    imports: ImportTable
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    module_level_names: set[str] = field(default_factory=set)
+
+    def source_text(self, node: ast.AST) -> str:
+        """Stripped source line a node sits on (empty when unknown)."""
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: who calls whom, where, how confidently."""
+
+    caller: str  # qualname of the enclosing function ("<module>" scope ok)
+    callee: str  # qualname of the resolved target
+    rel: str
+    call_id: int  # id-free ordinal of the call within the module walk
+    dynamic: bool  # resolved by method-name match only
+
+
+class Program:
+    """Symbol table over every module in one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}  # rel -> module
+        self.by_modname: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}  # qualname ->
+        self.classes: dict[str, ClassInfo] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, parsed: Iterable[tuple[str, ast.Module, Sequence[str]]]
+    ) -> "Program":
+        """Index ``(rel, tree, lines)`` triples into a program."""
+        program = cls()
+        for rel, tree, lines in parsed:
+            program._add_module(rel, tree, list(lines))
+        return program
+
+    def _add_module(self, rel: str, tree: ast.Module, lines: list[str]) -> None:
+        module = ModuleInfo(
+            rel=rel,
+            modname=module_name(rel),
+            tree=tree,
+            lines=lines,
+            imports=ImportTable.of(tree),
+        )
+        for stmt in tree.body:
+            self._index_statement(module, stmt)
+        self.modules[rel] = module
+        # First module with a name wins; duplicates (same-stem fixture
+        # files) stay addressable by rel.
+        self.by_modname.setdefault(module.modname, module)
+
+    def _index_statement(self, module: ModuleInfo, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(
+                qualname=f"{module.modname}.{stmt.name}",
+                modname=module.modname,
+                rel=module.rel,
+                node=stmt,
+            )
+            module.functions[stmt.name] = info
+            self.functions[info.qualname] = info
+        elif isinstance(stmt, ast.ClassDef):
+            cls_info = ClassInfo(
+                qualname=f"{module.modname}.{stmt.name}",
+                modname=module.modname,
+                rel=module.rel,
+                node=stmt,
+            )
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    method = FunctionInfo(
+                        qualname=f"{cls_info.qualname}.{sub.name}",
+                        modname=module.modname,
+                        rel=module.rel,
+                        node=sub,
+                        class_name=stmt.name,
+                    )
+                    cls_info.methods[sub.name] = method
+                    self.functions[method.qualname] = method
+                    self.methods_by_name.setdefault(sub.name, []).append(method)
+            module.classes[stmt.name] = cls_info
+            self.classes[cls_info.qualname] = cls_info
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    module.module_level_names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                module.module_level_names.add(stmt.target.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Conditional definitions (version guards, __main__ blocks).
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._index_statement(module, sub)
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_dotted(self, dotted: str) -> FunctionInfo | ClassInfo | None:
+        """Look a canonical dotted name up in the program."""
+        hit = self.functions.get(dotted) or self.classes.get(dotted)
+        if hit is not None:
+            return hit
+        # ``package.module.Class.method`` written as an attribute chain.
+        if "." in dotted:
+            head, _, tail = dotted.rpartition(".")
+            owner = self.classes.get(head)
+            if owner is not None:
+                return owner.methods.get(tail)
+        return None
+
+    def class_mro(self, cls_info: ClassInfo) -> Iterator[ClassInfo]:
+        """The class and its statically resolvable ancestors."""
+        seen: set[str] = set()
+        stack = [cls_info]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            yield current
+            module = self.modules.get(current.rel)
+            if module is None:
+                continue
+            for base in current.base_exprs():
+                resolved = self._resolve_class_expr(module, base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    def _resolve_class_expr(
+        self, module: ModuleInfo, expr: ast.expr
+    ) -> ClassInfo | None:
+        if isinstance(expr, ast.Name):
+            local = module.classes.get(expr.id)
+            if local is not None:
+                return local
+            dotted = module.imports.resolve(expr)
+            if dotted is not None:
+                hit = self.resolve_dotted(dotted)
+                if isinstance(hit, ClassInfo):
+                    return hit
+        elif isinstance(expr, ast.Attribute):
+            dotted = module.imports.resolve(expr)
+            if dotted is not None:
+                hit = self.resolve_dotted(dotted)
+                if isinstance(hit, ClassInfo):
+                    return hit
+        return None
+
+    def resolve_method(self, cls_info: ClassInfo, name: str) -> FunctionInfo | None:
+        """Find *name* on a class or its resolvable ancestors."""
+        for klass in self.class_mro(cls_info):
+            method = klass.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        caller: FunctionInfo | None,
+        call: ast.Call,
+    ) -> tuple[list[FunctionInfo], bool]:
+        """Targets of one call: ``(functions, dynamic)``.
+
+        ``dynamic`` is True when the only evidence is a method-name
+        match across the program (attribute call on a value of unknown
+        type).  Class instantiations resolve to ``__init__``.
+        """
+        func = call.func
+        # 1. A plain or dotted name resolvable through imports.
+        dotted = module.imports.resolve(func)
+        if dotted is not None:
+            hit = self.resolve_dotted(dotted)
+            if isinstance(hit, FunctionInfo):
+                return [hit], False
+            if isinstance(hit, ClassInfo):
+                init = self.resolve_method(hit, "__init__")
+                return ([init] if init is not None else []), False
+        # 2. A module-local name.
+        if isinstance(func, ast.Name):
+            local_fn = module.functions.get(func.id)
+            if local_fn is not None:
+                return [local_fn], False
+            local_cls = module.classes.get(func.id)
+            if local_cls is not None:
+                init = self.resolve_method(local_cls, "__init__")
+                return ([init] if init is not None else []), False
+            return [], False
+        # 3. self.method() / cls.method() within a class body.
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in ("self", "cls")
+                and caller is not None
+                and caller.class_name is not None
+            ):
+                owner = module.classes.get(caller.class_name)
+                if owner is not None:
+                    method = self.resolve_method(owner, func.attr)
+                    if method is not None:
+                        return [method], False
+            # 4. Dynamic: any class in the program defining this method.
+            matches = self.methods_by_name.get(func.attr, [])
+            return list(matches), True
+        return [], False
+
+    def instantiated_class(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> ClassInfo | None:
+        """The class a call instantiates, when statically resolvable."""
+        func = call.func
+        dotted = module.imports.resolve(func)
+        if dotted is not None:
+            hit = self.resolve_dotted(dotted)
+            if isinstance(hit, ClassInfo):
+                return hit
+        if isinstance(func, ast.Name):
+            return module.classes.get(func.id)
+        return None
+
+
+#: Pseudo-qualname suffix for module-level (top-level) code.
+MODULE_SCOPE = "<module>"
+
+
+class CallGraph:
+    """Resolved call edges and sites over a :class:`Program`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edges: dict[str, set[str]] = {}
+        self.dynamic_edges: dict[str, set[str]] = {}
+        self.sites: list[CallSite] = []
+        self.calls_by_function: dict[str, list[tuple[ast.Call, list[FunctionInfo], bool]]] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        for rel in sorted(self.program.modules):
+            module = self.program.modules[rel]
+            for scope_qual, scope_fn, body in self._scopes(module):
+                for call in self._calls_in(body):
+                    targets, dynamic = self.program.resolve_call(
+                        module, scope_fn, call
+                    )
+                    self.calls_by_function.setdefault(scope_qual, []).append(
+                        (call, targets, dynamic)
+                    )
+                    for target in targets:
+                        bucket = self.dynamic_edges if dynamic else self.edges
+                        bucket.setdefault(scope_qual, set()).add(target.qualname)
+                        self.sites.append(
+                            CallSite(
+                                caller=scope_qual,
+                                callee=target.qualname,
+                                rel=rel,
+                                call_id=getattr(call, "lineno", 0),
+                                dynamic=dynamic,
+                            )
+                        )
+
+    @staticmethod
+    def _scopes(
+        module: ModuleInfo,
+    ) -> Iterator[tuple[str, FunctionInfo | None, list[ast.stmt]]]:
+        """Each function scope plus the module's top-level scope.
+
+        Nested defs are attributed to their outermost enclosing
+        function (an over-approximation that keeps reachability sound).
+        """
+        function_nodes = {
+            info.node for info in module.functions.values()
+        } | {
+            m.node for c in module.classes.values() for m in c.methods.values()
+        }
+        top_level: list[ast.stmt] = []
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            top_level.append(stmt)
+        yield f"{module.modname}.{MODULE_SCOPE}", None, top_level
+        for info in module.functions.values():
+            yield info.qualname, info, list(info.node.body)
+        for cls_info in module.classes.values():
+            for method in cls_info.methods.values():
+                yield method.qualname, method, list(method.node.body)
+
+    @staticmethod
+    def _calls_in(body: list[ast.stmt]) -> Iterator[ast.Call]:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    yield node
+
+    # -- queries -------------------------------------------------------
+
+    def reachable(
+        self, roots: Iterable[str], include_dynamic: bool = True
+    ) -> set[str]:
+        """Qualnames reachable from *roots* along resolved edges."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for succ in self.edges.get(current, ()):
+                stack.append(succ)
+            if include_dynamic:
+                for succ in self.dynamic_edges.get(current, ()):
+                    stack.append(succ)
+        return seen
+
+    def callers_of(self, qualname: str) -> list[str]:
+        """Static (non-dynamic) callers of one function."""
+        return sorted(
+            {
+                caller
+                for caller, callees in self.edges.items()
+                if qualname in callees
+            }
+        )
+
+    def render(self) -> str:
+        """Deterministic text dump (``repro-cli lint --graph``)."""
+        lines = []
+        static_pairs = sorted(
+            (caller, callee)
+            for caller, callees in self.edges.items()
+            for callee in callees
+        )
+        dynamic_pairs = sorted(
+            (caller, callee)
+            for caller, callees in self.dynamic_edges.items()
+            for callee in callees
+        )
+        for caller, callee in static_pairs:
+            lines.append(f"{caller} -> {callee}")
+        for caller, callee in dynamic_pairs:
+            lines.append(f"{caller} ~> {callee}  [dynamic]")
+        lines.append(
+            f"# {len(self.program.modules)} modules, "
+            f"{len(self.program.functions)} functions, "
+            f"{len(static_pairs)} static edges, "
+            f"{len(dynamic_pairs)} dynamic edges"
+        )
+        return "\n".join(lines)

@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.lint src tests              # lint, fail on findings
+    python -m repro.lint src tests examples     # lint, fail on findings
     python -m repro.lint src --json             # machine-readable report
+    python -m repro.lint src --rule SEED001     # one rule (repeatable)
+    python -m repro.lint src --graph            # dump the call graph
     python -m repro.lint src tests --baseline   # ignore grandfathered
     python -m repro.lint src tests --write-baseline   # (re)grandfather
 
@@ -14,6 +16,7 @@ Exit codes mirror the main CLI convention: 0 clean, 1 findings,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.errors import LintUsageError
@@ -83,7 +86,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this rule (repeatable; merged with --rules)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="describe every rule and exit"
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the resolved call graph of PATHS and exit 0",
     )
     parser.add_argument(
         "-v",
@@ -94,37 +109,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit(text: str) -> bool:
+    """Print ``text``; swallow a closed-pipe reader (``... | head``)."""
+    try:
+        print(text, flush=True)
+    except BrokenPipeError:
+        # Redirect stdout at a fresh /dev/null so interpreter shutdown
+        # does not re-raise while flushing the dead pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return False
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     """Linter entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    requested: list[str] = []
+    if args.rules is not None:
+        requested.extend(r.strip() for r in args.rules.split(",") if r.strip())
+    if args.rule:
+        requested.extend(r.strip() for r in args.rule if r.strip())
     try:
-        rules = (
-            None
-            if args.rules is None
-            else get_rules([r.strip() for r in args.rules.split(",") if r.strip()])
-        )
+        rules = get_rules(sorted(set(requested))) if requested else None
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
 
     if args.list_rules:
-        print(render_rule_list(rules))
+        _emit(render_rule_list(rules))
         return EXIT_OK
 
     engine = LintEngine(rules=rules)
+    active_rule_ids = [rule.id for rule in engine.rules]
     try:
+        if args.graph:
+            _emit(engine.graph(args.paths))
+            return EXIT_OK
         if args.write_baseline is not None:
             result = engine.run(args.paths, baseline=None)
-            Baseline.write(args.write_baseline, result.findings)
+            Baseline.write(
+                args.write_baseline, result.findings, rules=active_rule_ids
+            )
             print(
                 f"wrote {len(result.findings)} grandfathered finding(s) "
                 f"to {args.write_baseline}"
             )
             return EXIT_OK
         baseline = (
-            Baseline.load(args.baseline) if args.baseline is not None else None
+            Baseline.load(args.baseline, expected_rules=active_rule_ids)
+            if args.baseline is not None
+            else None
         )
         result = engine.run(args.paths, baseline=baseline)
     except LintUsageError as exc:
@@ -132,9 +168,9 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_USAGE
 
     if args.json:
-        print(render_json(result, rules=rules))
+        _emit(render_json(result, rules=rules))
     else:
-        print(render_text(result, verbose=args.verbose))
+        _emit(render_text(result, verbose=args.verbose))
     return EXIT_OK if result.clean else EXIT_FINDINGS
 
 

@@ -30,18 +30,26 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import LintUsageError
+from repro.lint.callgraph import CallGraph, Program
 from repro.lint.rules import Rule, RuleContext, all_rules
-from repro.lint.rules.base import Finding, annotate_parents
+from repro.lint.rules.base import (
+    Finding,
+    ProgramContext,
+    ProgramRule,
+    annotate_parents,
+)
 
 #: Inline suppression syntax: ``# repro: allow-DET001 <one-line reason>``.
+#: The rule pattern covers per-file ids (DET001) and whole-program ids
+#: (SEED001, PURE001, EXC001, CONC001) alike.
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow-(?P<rule>DET\d{3})(?:\s+(?P<reason>\S.*))?"
+    r"#\s*repro:\s*allow-(?P<rule>[A-Z]{3,4}\d{3})(?:\s+(?P<reason>\S.*))?"
 )
 
 #: Default baseline filename (repo root, checked in).
 DEFAULT_BASELINE = "repro-lint-baseline.json"
 
-_BASELINE_VERSION = 1
+_BASELINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -120,8 +128,14 @@ class LintEngine:
 
     # -- single file ---------------------------------------------------
 
-    def lint_file(self, path: Path) -> tuple[list[Finding], list[Finding]]:
-        """Lint one file; returns ``(active, suppressed)`` findings."""
+    def _parse(
+        self, path: Path
+    ) -> tuple[str, ast.Module | None, list[str], list[Finding]]:
+        """Read and parse one file: ``(rel, tree, lines, parse_findings)``.
+
+        A file that does not parse cannot be certified; it surfaces as
+        a DET000 finding (``tree is None``) rather than aborting the run.
+        """
         rel = path.as_posix()
         try:
             source = path.read_text(encoding="utf-8")
@@ -131,9 +145,10 @@ class LintEngine:
         try:
             tree = ast.parse(source, filename=rel)
         except SyntaxError as exc:
-            # A file that does not parse cannot be certified; surface it
-            # as a finding rather than aborting the whole run.
             return (
+                rel,
+                None,
+                lines,
                 [
                     Finding(
                         rule="DET000",
@@ -146,44 +161,71 @@ class LintEngine:
                         text="",
                     )
                 ],
-                [],
             )
         annotate_parents(tree)
+        return rel, tree, lines, []
+
+    def _file_findings(
+        self, rel: str, tree: ast.Module, lines: list[str]
+    ) -> list[Finding]:
+        """Raw findings of every applicable per-file rule on one module."""
         ctx = RuleContext(rel=rel, tree=tree, lines=lines)
-        suppressions = parse_suppressions(lines)
+        findings: list[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, ProgramRule) or not rule.applies(rel):
+                continue
+            findings.extend(rule.check(ctx))
+        return findings
+
+    @staticmethod
+    def _apply_suppressions(
+        findings: Iterable[Finding],
+        suppressions: dict[int, list[Suppression]],
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split raw findings into ``(active, suppressed)``."""
         active: list[Finding] = []
         suppressed: list[Finding] = []
-        for rule in self.rules:
-            if not rule.applies(rel):
-                continue
-            for finding in rule.check(ctx):
-                waiver = next(
-                    (
-                        s
-                        for s in suppressions.get(finding.line, [])
-                        if s.rule == finding.rule
-                    ),
-                    None,
+        for finding in findings:
+            waiver = next(
+                (
+                    s
+                    for s in suppressions.get(finding.line, [])
+                    if s.rule == finding.rule
+                ),
+                None,
+            )
+            if waiver is not None and waiver.reason:
+                suppressed.append(
+                    dataclasses.replace(
+                        finding,
+                        suppressed=True,
+                        suppress_reason=waiver.reason,
+                    )
                 )
-                if waiver is not None and waiver.reason:
-                    suppressed.append(
-                        dataclasses.replace(
-                            finding,
-                            suppressed=True,
-                            suppress_reason=waiver.reason,
-                        )
+            elif waiver is not None:
+                active.append(
+                    dataclasses.replace(
+                        finding,
+                        message=finding.message
+                        + " [suppression ignored: missing reason]",
                     )
-                elif waiver is not None:
-                    active.append(
-                        dataclasses.replace(
-                            finding,
-                            message=finding.message
-                            + " [suppression ignored: missing reason]",
-                        )
-                    )
-                else:
-                    active.append(finding)
+                )
+            else:
+                active.append(finding)
         return active, suppressed
+
+    def lint_file(self, path: Path) -> tuple[list[Finding], list[Finding]]:
+        """Lint one file with the per-file rules.
+
+        Whole-program rules need the project symbol table and only run
+        under :meth:`run`; returns ``(active, suppressed)`` findings.
+        """
+        rel, tree, lines, parse_findings = self._parse(path)
+        if tree is None:
+            return parse_findings, []
+        return self._apply_suppressions(
+            self._file_findings(rel, tree, lines), parse_suppressions(lines)
+        )
 
     # -- tree ----------------------------------------------------------
 
@@ -192,22 +234,71 @@ class LintEngine:
         paths: Iterable[str | Path],
         baseline: "Baseline | None" = None,
     ) -> LintResult:
-        """Lint every Python file under *paths* against *baseline*."""
+        """Lint every Python file under *paths* against *baseline*.
+
+        Per-file rules run first; the successfully parsed modules are
+        then indexed into one :class:`~repro.lint.callgraph.Program`
+        (plus call graph) and every :class:`ProgramRule` runs over it.
+        Program findings anchor to ordinary file/line locations, so
+        inline suppressions and the baseline apply to them unchanged.
+        """
         result = LintResult()
+        parsed: list[tuple[str, ast.Module, list[str]]] = []
+        suppressions_by_rel: dict[str, dict[int, list[Suppression]]] = {}
+        raw_active: list[Finding] = []
         for path in self.discover(paths):
-            active, suppressed = self.lint_file(path)
-            result.suppressed.extend(suppressed)
+            rel, tree, lines, parse_findings = self._parse(path)
             result.files_scanned += 1
-            if baseline is None:
-                result.findings.extend(active)
-            else:
-                fresh, grandfathered = baseline.split(active)
-                result.findings.extend(fresh)
-                result.baselined.extend(grandfathered)
+            suppressions = parse_suppressions(lines)
+            suppressions_by_rel[rel] = suppressions
+            if tree is None:
+                raw_active.extend(parse_findings)
+                continue
+            parsed.append((rel, tree, lines))
+            active, suppressed = self._apply_suppressions(
+                self._file_findings(rel, tree, lines), suppressions
+            )
+            raw_active.extend(active)
+            result.suppressed.extend(suppressed)
+        program_rules = [r for r in self.rules if isinstance(r, ProgramRule)]
+        if program_rules and parsed:
+            ctx = self.build_program_context(parsed)
+            for rule in program_rules:
+                for finding in rule.check_program(ctx):
+                    active, suppressed = self._apply_suppressions(
+                        [finding],
+                        suppressions_by_rel.get(finding.path, {}),
+                    )
+                    raw_active.extend(active)
+                    result.suppressed.extend(suppressed)
+        if baseline is None:
+            result.findings.extend(raw_active)
+        else:
+            fresh, grandfathered = baseline.split(raw_active)
+            result.findings.extend(fresh)
+            result.baselined.extend(grandfathered)
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         result.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return result
+
+    @staticmethod
+    def build_program_context(
+        parsed: Iterable[tuple[str, ast.Module, Sequence[str]]],
+    ) -> ProgramContext:
+        """Index parsed modules into a shared whole-program context."""
+        program = Program.build(parsed)
+        return ProgramContext(program=program, callgraph=CallGraph(program))
+
+    def graph(self, paths: Iterable[str | Path]) -> str:
+        """Deterministic call-graph dump (``repro-cli lint --graph``)."""
+        parsed: list[tuple[str, ast.Module, list[str]]] = []
+        for path in self.discover(paths):
+            _, tree, lines, _ = self._parse(path)
+            if tree is not None:
+                parsed.append((path.as_posix(), tree, lines))
+        ctx = self.build_program_context(parsed)
+        return ctx.callgraph.render()  # type: ignore[attr-defined]
 
 
 class Baseline:
@@ -216,10 +307,22 @@ class Baseline:
     Each fingerprint carries a count so two identical hazards on
     identical source lines in one file are tracked separately; fixing
     one surfaces the other.
+
+    Since version 2 a baseline also records the rule set it was written
+    under.  A baseline grandfathers *known* findings — one produced by
+    a linter with different rules would silently "match" findings the
+    old rules never saw, so :meth:`load` rejects it as stale instead.
     """
 
-    def __init__(self, counts: Counter[str] | None = None) -> None:
+    def __init__(
+        self,
+        counts: Counter[str] | None = None,
+        rules: Sequence[str] | None = None,
+    ) -> None:
         self.counts: Counter[str] = Counter(counts or {})
+        self.rules: tuple[str, ...] | None = (
+            tuple(sorted(rules)) if rules is not None else None
+        )
 
     @classmethod
     def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
@@ -227,18 +330,34 @@ class Baseline:
         return cls(Counter(f.fingerprint() for f in findings))
 
     @classmethod
-    def load(cls, path: str | Path) -> "Baseline":
-        """Read a baseline file (empty baseline when absent)."""
+    def load(
+        cls,
+        path: str | Path,
+        expected_rules: Sequence[str] | None = None,
+    ) -> "Baseline":
+        """Read a baseline file (empty baseline when absent).
+
+        When *expected_rules* is given (the CLI passes the active rule
+        set), a baseline recorded under a different rule set — or a
+        version-1 file that predates rule-set tracking — raises
+        :class:`LintUsageError` so staleness is detected rather than
+        silently matched.
+        """
         path = Path(path)
         if not path.exists():
             return cls()
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-            if payload.get("version") != _BASELINE_VERSION:
+            version = payload.get("version")
+            if version not in (1, _BASELINE_VERSION):
                 raise LintUsageError(
-                    f"{path}: unsupported baseline version "
-                    f"{payload.get('version')!r}"
+                    f"{path}: unsupported baseline version {version!r}"
                 )
+            rules = (
+                [str(r) for r in payload["rules"]]
+                if version >= 2
+                else None
+            )
             counts = Counter(
                 {
                     str(entry["fingerprint"]): int(entry.get("count", 1))
@@ -247,11 +366,33 @@ class Baseline:
             )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise LintUsageError(f"{path}: malformed baseline: {exc}") from exc
-        return cls(counts)
+        if expected_rules is not None:
+            expected = tuple(sorted(expected_rules))
+            if rules is None:
+                raise LintUsageError(
+                    f"{path}: baseline predates rule-set tracking "
+                    "(version 1); regenerate it with --write-baseline"
+                )
+            if tuple(sorted(rules)) != expected:
+                raise LintUsageError(
+                    f"{path}: stale baseline — written under rule set "
+                    f"[{', '.join(sorted(rules))}] but the linter now "
+                    f"runs [{', '.join(expected)}]; regenerate it with "
+                    "--write-baseline"
+                )
+        return cls(counts, rules=rules)
 
     @staticmethod
-    def write(path: str | Path, findings: Iterable[Finding]) -> None:
-        """Write a baseline grandfathering *findings* (sorted, stable)."""
+    def write(
+        path: str | Path,
+        findings: Iterable[Finding],
+        rules: Sequence[str] | None = None,
+    ) -> None:
+        """Write a baseline grandfathering *findings* (sorted, stable).
+
+        *rules* records the active rule set (defaults to every
+        registered rule) so a later load can detect staleness.
+        """
         grouped: dict[str, dict] = {}
         for finding in sorted(
             findings, key=lambda f: (f.path, f.line, f.col, f.rule)
@@ -268,8 +409,11 @@ class Baseline:
                 },
             )
             entry["count"] += 1
+        if rules is None:
+            rules = [rule.id for rule in all_rules()]
         payload = {
             "version": _BASELINE_VERSION,
+            "rules": sorted(rules),
             "entries": sorted(grouped.values(), key=lambda e: e["fingerprint"]),
         }
         Path(path).write_text(

@@ -1,9 +1,10 @@
 """Rendering lint results: human-readable text and ``--json``.
 
-The JSON schema (version 1) is stable for CI consumption::
+The JSON schema (version 2) is stable for CI consumption::
 
     {
-      "version": 1,
+      "version": 2,
+      "rule_set": ["CONC001", "DET001", ..., "SEED001"],
       "clean": bool,
       "files_scanned": int,
       "summary": {"findings": int, "baselined": int, "suppressed": int,
@@ -12,6 +13,10 @@ The JSON schema (version 1) is stable for CI consumption::
                     "message", "hint", "fingerprint"}, ...],
       "rules": {"DET001": {"title", "severity", "rationale", "hint"}, ...}
     }
+
+Version 2 added ``rule_set`` (the ids that actually ran) so a consumer
+comparing two reports — or a baseline written from one — can tell a
+clean run from a run that never executed the rule it cares about.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Sequence
 from repro.lint.engine import LintResult
 from repro.lint.rules import Rule, all_rules
 
-JSON_SCHEMA_VERSION = 1
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -66,6 +71,7 @@ def render_json(result: LintResult, rules: Sequence[Rule] | None = None) -> str:
     rules = list(all_rules() if rules is None else rules)
     payload = {
         "version": JSON_SCHEMA_VERSION,
+        "rule_set": sorted(rule.id for rule in rules),
         "clean": result.clean,
         "files_scanned": result.files_scanned,
         "summary": {

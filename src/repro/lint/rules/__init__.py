@@ -1,23 +1,40 @@
-"""Determinism rules: one module per ``DET00x`` rule.
+"""Determinism rules: one module per rule.
 
+Per-file rules carry ``DET00x`` ids; whole-program (interprocedural)
+rules carry named ids (``SEED001``, ``PURE001``, ``EXC001``,
+``CONC001``) and run over the project call graph instead of one file.
 Importing this package registers every rule; the engine then iterates
 :func:`~repro.lint.rules.base.all_rules`.
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
+    conc001_boundary,
     det001_randomness,
     det002_wallclock,
     det003_iteration,
     det004_mutable_state,
     det005_env,
     det006_json_ordering,
+    exc001_contract,
+    pure001_purity,
+    seed001_provenance,
 )
 from repro.lint.rules.base import (
     Finding,
+    ProgramContext,
+    ProgramRule,
     Rule,
     RuleContext,
     all_rules,
     get_rules,
 )
 
-__all__ = ["Finding", "Rule", "RuleContext", "all_rules", "get_rules"]
+__all__ = [
+    "Finding",
+    "ProgramContext",
+    "ProgramRule",
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "get_rules",
+]

@@ -18,6 +18,10 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+# Re-exported from the package leaf so rule modules (and tests) can
+# keep importing it from here without creating an import cycle.
+from repro.lint.callgraph import ImportTable  # noqa: F401
+
 #: Severity levels, in increasing order of seriousness.
 SEVERITIES = ("warning", "error")
 
@@ -132,6 +136,61 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Unlike a :class:`Rule`, which sees one file, a program rule runs
+    once per lint invocation over a :class:`ProgramContext` carrying
+    the project-wide symbol table and call graph.  Findings still
+    anchor to a file and line, so severities, suppressions, baselines,
+    and ``--json`` all work unchanged.
+
+    Precision caveat: the program is *what was scanned*.  Linting a
+    subtree gives the rule a partial call graph; unresolved calls are
+    treated as unknown, never guessed at.
+    """
+
+    def check(self, ctx: RuleContext) -> Iterator[Finding]:
+        return iter(())  # program rules do not run per file
+
+    def check_program(self, ctx: "ProgramContext") -> Iterator[Finding]:
+        """Yield findings over the whole program."""
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        rel: str,
+        node: ast.AST,
+        message: str,
+        source_line: str = "",
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at *node* in the file at *rel*."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            text=source_line,
+        )
+
+
+@dataclass
+class ProgramContext:
+    """Everything a :class:`ProgramRule` needs for one run.
+
+    ``program`` and ``callgraph`` are built once by the engine and
+    shared by every program rule; both come from
+    :mod:`repro.lint.callgraph`.
+    """
+
+    program: object  # repro.lint.callgraph.Program
+    callgraph: object  # repro.lint.callgraph.CallGraph
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -162,58 +221,6 @@ def get_rules(ids: Iterable[str] | None = None) -> list[Rule]:
     return rules
 
 
-class ImportTable(ast.NodeVisitor):
-    """Resolve local names to the canonical modules they denote.
-
-    Handles ``import random``, ``import numpy as np``,
-    ``from random import shuffle``, ``from numpy import random as nr``
-    and the like, so rules can match calls by canonical dotted name
-    (``numpy.random.seed``) regardless of aliasing.
-    """
-
-    def __init__(self) -> None:
-        self.aliases: dict[str, str] = {}  # local name -> canonical dotted
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.level == 0:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = (
-                    f"{node.module}.{alias.name}"
-                )
-        self.generic_visit(node)
-
-    def resolve(self, node: ast.AST) -> str | None:
-        """Canonical dotted name of an expression, or ``None``.
-
-        ``np.random.seed`` resolves to ``numpy.random.seed`` when
-        ``np`` aliases ``numpy``; a bare ``shuffle`` resolves to
-        ``random.shuffle`` when imported from :mod:`random`.
-        """
-        parts: list[str] = []
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        root = self.aliases.get(node.id)
-        if root is None:
-            return None
-        parts.append(root)
-        return ".".join(reversed(parts))
-
-    @classmethod
-    def of(cls, tree: ast.AST) -> "ImportTable":
-        """Build the import table of a parsed module."""
-        table = cls()
-        table.visit(tree)
-        return table
 
 
 def annotate_parents(tree: ast.AST) -> None:

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.errors import UnknownBenchmarkError
 from repro.mase.configs import mase_predictor_configs
 from repro.mase.simulator import MaseConfig, MaseSimulator
 from repro.stats.regression import SimpleLinearFit, fit_simple
@@ -78,7 +79,7 @@ class LinearityStudyResult:
         for bench in self.benchmarks:
             if bench.benchmark == name:
                 return bench
-        raise KeyError(name)
+        raise UnknownBenchmarkError(f"no linearity result for benchmark {name!r}")
 
 
 class LinearityStudy:

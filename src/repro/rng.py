@@ -21,6 +21,8 @@ from typing import Iterable, List, Sequence, TypeVar
 
 import numpy as np
 
+from repro.errors import StreamError
+
 _T = TypeVar("_T")
 
 _MASK64 = (1 << 64) - 1
@@ -91,7 +93,7 @@ class RandomStream:
     def randint(self, low: int, high: int) -> int:
         """Return an integer uniform on [low, high] inclusive."""
         if high < low:
-            raise ValueError(f"empty range [{low}, {high}]")
+            raise StreamError(f"empty range [{low}, {high}]")
         span = high - low + 1
         # Rejection sampling to avoid modulo bias.
         limit = (_MASK64 + 1) - ((_MASK64 + 1) % span)
@@ -103,7 +105,7 @@ class RandomStream:
     def choice(self, items: Sequence[_T]) -> _T:
         """Return a uniformly chosen element of *items*."""
         if not items:
-            raise ValueError("cannot choose from an empty sequence")
+            raise StreamError("cannot choose from an empty sequence")
         return items[self.randint(0, len(items) - 1)]
 
     def shuffle(self, items: List[_T]) -> None:
@@ -141,7 +143,7 @@ class RandomStream:
         """Return *k* distinct elements sampled uniformly from *population*."""
         pool = list(population)
         if k > len(pool):
-            raise ValueError(f"cannot sample {k} from population of {len(pool)}")
+            raise StreamError(f"cannot sample {k} from population of {len(pool)}")
         self.shuffle(pool)
         return pool[:k]
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -33,7 +34,7 @@ class AgreePredictor(BranchPredictor):
         self.entries = require_power_of_two(entries, "agree PHT entries")
         self.bias_entries = require_power_of_two(bias_entries, "agree bias entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         self.history_bits = history_bits
         self.name = name if name is not None else f"agree-{entries}x{history_bits}"
         self._pht: list[int] = []

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -28,7 +29,7 @@ class BiModePredictor(BranchPredictor):
         self.entries = require_power_of_two(entries, "bi-mode direction entries")
         self.choice_entries = require_power_of_two(choice_entries, "bi-mode choice entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         self.history_bits = history_bits
         self.name = name if name is not None else f"bimode-{entries}x{history_bits}"
         self._taken: list[int] = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 from repro.uarch.predictors.hybrid import HybridPredictor
 
@@ -26,9 +27,9 @@ class GAsPredictor(BranchPredictor):
     ) -> None:
         self.entries = require_power_of_two(entries, "GAs entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         if (1 << history_bits) > entries:
-            raise ValueError(
+            raise ConfigurationError(
                 f"history ({history_bits} bits) cannot exceed table index "
                 f"({entries} entries)"
             )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -19,7 +20,7 @@ class GsharePredictor(BranchPredictor):
     def __init__(self, entries: int = 16384, history_bits: int = 12, name: str | None = None) -> None:
         self.entries = require_power_of_two(entries, "gshare entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         self.history_bits = history_bits
         self.name = name if name is not None else f"gshare-{entries}x{history_bits}"
         self._table: list[int] = []

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -37,7 +38,7 @@ class HybridPredictor(BranchPredictor):
         self.global_entries = require_power_of_two(global_entries, "global entries")
         self.chooser_entries = require_power_of_two(chooser_entries, "chooser entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         self.history_bits = history_bits
         self.name = name
         self._bimodal: list[int] = []

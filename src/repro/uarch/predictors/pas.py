@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -31,7 +32,7 @@ class PAsPredictor(BranchPredictor):
         self.bht_entries = require_power_of_two(bht_entries, "PAs BHT entries")
         self.pht_entries = require_power_of_two(pht_entries, "PAs PHT entries")
         if (1 << history_bits) > pht_entries:
-            raise ValueError("history bits exceed PHT index width")
+            raise ConfigurationError("history bits exceed PHT index width")
         self.history_bits = history_bits
         self.address_bits = (pht_entries.bit_length() - 1) - history_bits
         self.name = name if name is not None else f"PAs-{pht_entries}x{history_bits}"

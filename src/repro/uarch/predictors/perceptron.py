@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -25,7 +26,7 @@ class PerceptronPredictor(BranchPredictor):
     ) -> None:
         self.entries = require_power_of_two(entries, "perceptron entries")
         if not 1 <= history_bits <= 32:
-            raise ValueError(f"history_bits must be in [1, 32], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 32], got {history_bits}")
         self.history_bits = history_bits
         # Jiménez & Lin's empirically optimal threshold.
         self.threshold = int(1.93 * history_bits + 14)

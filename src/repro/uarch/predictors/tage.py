@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -74,7 +75,7 @@ class TagePredictor(BranchPredictor):
         name: str = "tage",
     ) -> None:
         if sorted(history_lengths) != list(history_lengths):
-            raise ValueError("history_lengths must be increasing")
+            raise ConfigurationError("history_lengths must be increasing")
         require_power_of_two(1 << table_bits, "TAGE table size")
         self.table_bits = table_bits
         self.history_lengths = tuple(history_lengths)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -38,14 +39,14 @@ class TournamentPredictor(BranchPredictor):
             local_history_entries, "local history entries"
         )
         if not 1 <= local_history_bits <= 16:
-            raise ValueError(
+            raise ConfigurationError(
                 f"local_history_bits must be in [1, 16], got {local_history_bits}"
             )
         self.local_history_bits = local_history_bits
         self.local_pht_entries = 1 << local_history_bits
         self.global_entries = require_power_of_two(global_entries, "global entries")
         if not 1 <= history_bits <= 24:
-            raise ValueError(f"history_bits must be in [1, 24], got {history_bits}")
+            raise ConfigurationError(f"history_bits must be in [1, 24], got {history_bits}")
         self.history_bits = history_bits
         self.name = name
         self.reset()

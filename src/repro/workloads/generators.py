@@ -23,6 +23,7 @@ from repro.program.structure import (
     ProgramSpec,
     SourceFile,
 )
+from repro.errors import WorkloadError
 from repro.rng import RandomStream, derive_seed
 from repro.workloads.params import BenchmarkPersonality
 
@@ -69,7 +70,7 @@ def _make_behavior(kind: str, stream: RandomStream) -> BranchBehavior:
             noise=0.02 + 0.08 * u,
             invert=stream.uniform() < 0.5,
         )
-    raise ValueError(f"unknown behaviour kind {kind!r}")
+    raise WorkloadError(f"unknown behaviour kind {kind!r}")
 
 
 def _zipf_weights(n: int, skew: float, stream: RandomStream) -> list[float]:

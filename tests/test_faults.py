@@ -335,7 +335,7 @@ class TestStoreHardening:
     def test_atomic_save_leaves_no_temp_files(self, tmp_path):
         store = CampaignStore(tmp_path)
         store.save(_store_key(), _synthetic_observations(n=4, benchmark="456.hmmer"))
-        assert not list(tmp_path.glob("*.tmp.*"))
+        assert not sorted(tmp_path.glob("*.tmp.*"))
 
     def test_torn_write_quarantined_on_load(self, tmp_path):
         store = CampaignStore(tmp_path)
@@ -346,7 +346,7 @@ class TestStoreHardening:
         # The torn payload parses as nothing useful: quarantined, a miss.
         assert store.load(key) is None
         assert store.stats.quarantined == 1
-        assert list(tmp_path.glob("*.corrupt-*"))
+        assert sorted(tmp_path.glob("*.corrupt-*"))
         assert not store.path_for(key).exists()
         # A clean re-save round-trips.
         store.save(key, original)
@@ -374,7 +374,7 @@ class TestStoreHardening:
         key = _store_key()
         store.path_for(key).write_text("}} not json {{")
         assert store.load(key) is None  # no JSONDecodeError escapes
-        quarantined = list(tmp_path.glob("*.corrupt-*"))
+        quarantined = sorted(tmp_path.glob("*.corrupt-*"))
         assert len(quarantined) == 1
         # get() then measures fresh and persists a good file.
         measured = store.get(
@@ -403,7 +403,7 @@ class TestStoreHardening:
         assert lab.store.stats.misses == 1
         assert_bit_identical(baseline, recovered)
         # The quarantined artifact is preserved for forensics...
-        assert list(tmp_path.glob("*.corrupt-*"))
+        assert sorted(tmp_path.glob("*.corrupt-*"))
         # ...and the re-measured campaign was re-persisted cleanly.
         assert lab.store.load(key) is not None
 

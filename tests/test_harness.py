@@ -215,7 +215,7 @@ class TestCli:
         assert main(["--export", str(tmp_path)]) == 2
         err = capsys.readouterr().err
         assert "--export" in err
-        assert not list(tmp_path.iterdir())
+        assert not sorted(tmp_path.iterdir())
 
     def test_export_with_experiments_writes_csv(self, capsys, tmp_path):
         out_dir = tmp_path / "out"

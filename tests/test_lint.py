@@ -409,11 +409,395 @@ class TestEngine:
         with pytest.raises(KeyError):
             get_rules(["DET999"])
 
-    def test_shipped_tree_is_clean_against_shipped_baseline(self):
+    def test_shipped_tree_is_clean_with_no_baseline(self):
         """The acceptance invariant: src/ lints clean with no baseline."""
         engine = LintEngine()
         result = engine.run([REPO_ROOT / "src"])
         assert result.clean, [f.location() for f in result.findings]
+
+    def test_shipped_examples_are_clean_with_no_baseline(self):
+        """examples/ is in lint scope and carries no grandfathered debt."""
+        engine = LintEngine()
+        result = engine.run([REPO_ROOT / "examples"])
+        assert result.clean, [f.location() for f in result.findings]
+
+    def test_no_baseline_file_is_shipped(self):
+        """The grandfathered-findings file is gone: debt stays at zero."""
+        assert not (REPO_ROOT / "repro-lint-baseline.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Whole-program rules: true-positive / true-negative fixture trees.
+# ----------------------------------------------------------------------
+
+
+def lint_tree(tmp_path: Path, files: dict[str, str], rules=None):
+    """Write a fixture tree and run the engine (program rules included)."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    engine = LintEngine(rules=get_rules(rules) if rules is not None else None)
+    return engine.run([tmp_path])
+
+
+class TestSEED001Provenance:
+    def test_dropped_seed_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/build.py":
+                "def build_machine(seed):\n"
+                "    table = [0] * 4\n"
+                "    return table\n",
+        }, rules=["SEED001"])
+        assert rules_of(result.findings) == ["SEED001"]
+        assert "dropped" in result.findings[0].message
+
+    def test_underscore_prefix_declares_unused(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/build.py":
+                "def build_machine(_seed):\n"
+                "    return [0] * 4\n",
+        }, rules=["SEED001"])
+        assert result.clean
+
+    def test_constant_rng_beside_ignored_seed_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/streams.py":
+                "from repro.rng import RandomStream\n"
+                "def make(seed):\n"
+                "    stream = RandomStream(42)\n"
+                "    return stream, seed\n",
+        }, rules=["SEED001"])
+        assert rules_of(result.findings) == ["SEED001"]
+        assert "constant" in result.findings[0].message
+
+    def test_shadowed_seed_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/streams.py":
+                "from repro.rng import RandomStream\n"
+                "def make(seed):\n"
+                "    seed = 7\n"
+                "    return RandomStream(seed)\n",
+        }, rules=["SEED001"])
+        assert rules_of(result.findings) == ["SEED001"]
+        assert "reassigned" in result.findings[0].message
+
+    def test_threaded_seed_chain_is_clean(self, tmp_path):
+        """True negative: the seed flows caller -> callee -> RNG."""
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/worker.py":
+                "from repro.rng import RandomStream\n"
+                "def simulate(run_seed):\n"
+                "    return RandomStream(run_seed)\n",
+            "src/repro/machine/driver.py":
+                "from repro.machine.worker import simulate\n"
+                "from repro.rng import derive_seed\n"
+                "def drive(seed):\n"
+                "    return simulate(derive_seed(seed, 'worker'))\n",
+        }, rules=["SEED001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_breaking_seed_threading_is_caught_end_to_end(self, tmp_path):
+        """The acceptance check: severing an inter-module seed chain
+
+        that lints clean must produce a SEED001 finding at the exact
+        call site where the constant replaced the seed.
+        """
+        good = {
+            "src/repro/machine/worker.py":
+                "from repro.rng import RandomStream\n"
+                "def simulate(run_seed):\n"
+                "    return RandomStream(run_seed)\n",
+            "src/repro/machine/driver.py":
+                "from repro.machine.worker import simulate\n"
+                "from repro.rng import derive_seed\n"
+                "def drive(seed):\n"
+                "    return simulate(run_seed=derive_seed(seed, 'w'))\n",
+        }
+        assert lint_tree(tmp_path / "good", good, rules=["SEED001"]).clean
+        broken = dict(good)
+        broken["src/repro/machine/driver.py"] = broken[
+            "src/repro/machine/driver.py"
+        ].replace("run_seed=derive_seed(seed, 'w')", "run_seed=1234")
+        result = lint_tree(tmp_path / "broken", broken, rules=["SEED001"])
+        # Severing the chain yields two diagnoses: the call site passes
+        # a constant, and drive()'s own seed is now dropped entirely.
+        assert set(rules_of(result.findings)) == {"SEED001"}
+        threaded = [f for f in result.findings if "not threaded" in f.message]
+        assert len(threaded) == 1
+        assert threaded[0].path.endswith("driver.py")
+        assert threaded[0].line == 4
+        assert any("dropped" in f.message for f in result.findings)
+
+    def test_sanctioned_root_seed_constant_is_clean(self, tmp_path):
+        """Published MASTER_SEED-style roots are provenance, not hazards."""
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/roots.py":
+                "from repro.rng import RandomStream, derive_seed\n"
+                "MASTER_SEED = 0x5EED\n"
+                "def entry(name, seed):\n"
+                "    return RandomStream(derive_seed(seed, name))\n"
+                "def default_entry(name):\n"
+                "    return RandomStream(derive_seed(MASTER_SEED, name))\n",
+        }, rules=["SEED001"])
+        assert result.clean, [f.message for f in result.findings]
+
+
+class TestPURE001ObservationPurity:
+    OBSERVER = (
+        "from repro.machine.engine import run_machine\n"
+        "class Interferometer:\n"
+        "    def observe(self, spec):\n"
+        "        return run_machine(spec)\n"
+    )
+
+    def test_print_on_observation_path_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/interf.py": self.OBSERVER,
+            "src/repro/machine/engine.py":
+                "def run_machine(spec):\n"
+                "    print('measuring', spec)\n"
+                "    return 0\n",
+        }, rules=["PURE001"])
+        assert rules_of(result.findings) == ["PURE001"]
+        assert "print" in result.findings[0].message
+
+    def test_clock_read_on_observation_path_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/interf.py": self.OBSERVER,
+            "src/repro/machine/engine.py":
+                "import time\n"
+                "def run_machine(spec):\n"
+                "    started = time.perf_counter()\n"
+                "    return started\n",
+        }, rules=["PURE001"])
+        assert rules_of(result.findings) == ["PURE001"]
+
+    def test_module_state_mutation_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/interf.py": self.OBSERVER,
+            "src/repro/machine/engine.py":
+                "_CACHE = {}\n"
+                "def run_machine(spec):\n"
+                "    _CACHE.update({spec: 1})\n"
+                "    return 0\n",
+        }, rules=["PURE001"])
+        assert rules_of(result.findings) == ["PURE001"]
+        assert "_CACHE" in result.findings[0].message
+
+    def test_pure_observation_path_is_clean(self, tmp_path):
+        """True negative: arithmetic-only measurement code."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/interf.py": self.OBSERVER,
+            "src/repro/machine/engine.py":
+                "def run_machine(spec):\n"
+                "    return sum(ord(c) for c in spec)\n",
+        }, rules=["PURE001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_impurity_off_the_observation_path_is_clean(self, tmp_path):
+        """I/O in measurement-core code observe() never reaches is fine
+        for PURE001 (other rules police it on their own terms)."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/interf.py": self.OBSERVER,
+            "src/repro/machine/engine.py":
+                "def run_machine(spec):\n"
+                "    return 0\n"
+                "def debug_dump(spec):\n"
+                "    print(spec)\n",
+        }, rules=["PURE001"])
+        assert result.clean, [f.message for f in result.findings]
+
+
+class TestEXC001ExceptionContract:
+    def test_builtin_raise_on_campaign_path_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/runner.py":
+                "def run(x):\n"
+                "    if x < 0:\n"
+                "        raise ValueError('negative')\n"
+                "    return x\n",
+        }, rules=["EXC001"])
+        assert rules_of(result.findings) == ["EXC001"]
+        assert "ValueError" in result.findings[0].message
+
+    def test_repro_errors_raise_is_clean(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/runner.py":
+                "from repro.errors import ConfigurationError\n"
+                "def run(x):\n"
+                "    if x < 0:\n"
+                "        raise ConfigurationError('negative')\n"
+                "    return x\n",
+        }, rules=["EXC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_local_subclass_closure_is_clean(self, tmp_path):
+        """A class transitively deriving from ReproError is in-tree,
+        even when the subclass lives in another scanned module."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/local_errors.py":
+                "from repro.errors import ReproError\n"
+                "class PipelineError(ReproError):\n"
+                "    pass\n",
+            "src/repro/core/runner.py":
+                "from repro.core.local_errors import PipelineError\n"
+                "class StageError(PipelineError):\n"
+                "    pass\n"
+                "def run(x):\n"
+                "    if x < 0:\n"
+                "        raise StageError('negative')\n"
+                "    return x\n",
+        }, rules=["EXC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_out_of_tree_class_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/runner.py":
+                "class LocalError(Exception):\n"
+                "    pass\n"
+                "def run(x):\n"
+                "    raise LocalError('boom')\n",
+        }, rules=["EXC001"])
+        assert rules_of(result.findings) == ["EXC001"]
+        assert "LocalError" in result.findings[0].message
+
+    def test_assertion_and_not_implemented_allowed(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/runner.py":
+                "def run(x):\n"
+                "    if x is None:\n"
+                "        raise AssertionError('invariant')\n"
+                "    raise NotImplementedError\n",
+        }, rules=["EXC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_out_of_scope_code_unpoliced(self, tmp_path):
+        """True negative: the contract binds campaign-path code only."""
+        result = lint_tree(tmp_path, {
+            "src/repro/lint/checker.py":
+                "def run(x):\n"
+                "    raise ValueError('fine here')\n",
+        }, rules=["EXC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+
+class TestCONC001WorkerBoundary:
+    def test_lambda_callable_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def run_all(specs):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        futures = [pool.submit(lambda s: s, spec)\n"
+                "                   for spec in specs]\n"
+                "    return futures\n",
+        }, rules=["CONC001"])
+        assert rules_of(result.findings) == ["CONC001"]
+        assert "lambda" in result.findings[0].message
+
+    def test_bound_method_callable_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "class Runner:\n"
+                "    def go(self, specs):\n"
+                "        with ProcessPoolExecutor() as pool:\n"
+                "            return [pool.submit(self.work, s) for s in specs]\n"
+                "    def work(self, s):\n"
+                "        return s\n",
+        }, rules=["CONC001"])
+        assert rules_of(result.findings) == ["CONC001"]
+        assert "bound method" in result.findings[0].message
+
+    def test_live_rng_argument_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from repro.rng import RandomStream\n"
+                "def work(stream):\n"
+                "    return stream\n"
+                "def run_all():\n"
+                "    stream = RandomStream(7)\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return pool.submit(work, stream)\n",
+        }, rules=["CONC001"])
+        assert rules_of(result.findings) == ["CONC001"]
+        assert "RNG" in result.findings[0].message
+
+    def test_mutable_dataclass_argument_flagged(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from dataclasses import dataclass\n"
+                "@dataclass\n"
+                "class Spec:\n"
+                "    x: int = 0\n"
+                "def work(spec):\n"
+                "    return spec.x\n"
+                "def run_all():\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return pool.submit(work, Spec())\n",
+        }, rules=["CONC001"])
+        assert rules_of(result.findings) == ["CONC001"]
+        assert "frozen" in result.findings[0].hint or "frozen" in result.findings[0].message
+
+    def test_frozen_spec_to_module_function_is_clean(self, tmp_path):
+        """True negative: the park.py idiom — a frozen dataclass spec
+        submitted to a module-level worker function."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from dataclasses import dataclass\n"
+                "@dataclass(frozen=True)\n"
+                "class Spec:\n"
+                "    x: int = 0\n"
+                "def work(spec):\n"
+                "    return spec.x\n"
+                "def run_all(xs):\n"
+                "    specs = [Spec(x) for x in xs]\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        futures = [pool.submit(work, s) for s in specs]\n"
+                "    return futures\n",
+        }, rules=["CONC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+    def test_thread_pool_is_exempt(self, tmp_path):
+        """ThreadPoolExecutor pickles nothing; lambdas are legal there."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/parallel.py":
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "def run_all(specs):\n"
+                "    with ThreadPoolExecutor() as pool:\n"
+                "        return [pool.submit(lambda s: s, x) for x in specs]\n",
+        }, rules=["CONC001"])
+        assert result.clean, [f.message for f in result.findings]
+
+
+class TestProgramRulePlumbing:
+    def test_inline_suppression_waives_program_finding(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/machine/build.py":
+                "# repro: allow-SEED001 interface parity with seeded allocators\n"
+                "def build_machine(seed):\n"
+                "    return [0] * 4\n",
+        }, rules=["SEED001"])
+        assert result.clean
+        assert rules_of(result.suppressed) == ["SEED001"]
+
+    def test_program_findings_respect_baseline(self, tmp_path):
+        files = {
+            "src/repro/machine/build.py":
+                "def build_machine(seed):\n"
+                "    return [0] * 4\n",
+        }
+        first = lint_tree(tmp_path, files, rules=["SEED001"])
+        assert not first.clean
+        baseline = Baseline.from_findings(first.findings)
+        engine = LintEngine(rules=get_rules(["SEED001"]))
+        second = engine.run([tmp_path], baseline=baseline)
+        assert second.clean
+        assert rules_of(second.baselined) == ["SEED001"]
 
 
 # ----------------------------------------------------------------------
@@ -461,7 +845,8 @@ class TestCli:
         code, out, _ = self.run_cli(str(root), "--json")
         assert code == 1
         payload = json.loads(out)
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["rule_set"] == [r.id for r in all_rules()]
         assert payload["clean"] is False
         assert payload["summary"]["findings"] == 1
         assert payload["summary"]["by_rule"] == {"DET001": 1}

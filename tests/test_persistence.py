@@ -139,7 +139,7 @@ class TestProvenance:
         payload = json.loads(path.read_text())
         payload["format_version"] = 1
         del payload["provenance"]
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload, sort_keys=True))
         observations, provenance = load_campaign(path)
         assert provenance is None
         assert (observations.cpis == original.cpis).all()
@@ -150,7 +150,7 @@ class TestProvenance:
         save_observations(_synthetic_observations(n=4), path, provenance=self.PROVENANCE)
         payload = json.loads(path.read_text())
         del payload["provenance"]["machine_seed"]
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload, sort_keys=True))
         with pytest.raises(ReproError, match="provenance"):
             load_campaign(path)
 
