@@ -19,7 +19,7 @@ Run:  python examples/indirect_interferometry.py
 
 import numpy as np
 
-from repro import Camino, Counter, XeonE5440, measure_executable
+from repro import Camino, Counter, XeonE5440, measure_executable, units
 from repro.core.interferometer import layout_seed
 from repro.program.behavior import (
     BiasedBehavior,
@@ -138,7 +138,7 @@ def main() -> None:
         misses = ittage.simulate(
             exe.branch_address_stream(), exe.trace.targets, warmup=warmup
         )
-        ittage_mpkis.append(misses / m.instructions * 1000.0)
+        ittage_mpkis.append(units.mpki(misses, m.instructions))
     cpis = np.array(cpis)
     ind_mpkis = np.array(ind_mpkis)
 

@@ -24,6 +24,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results of every table and figure.
 """
 
+from repro import units
 from repro.core import (
     BlameAnalysis,
     Interferometer,
@@ -135,5 +136,6 @@ __all__ = [
     "save_observations",
     "save_trace",
     "spec2006",
+    "units",
     "__version__",
 ]

@@ -4,6 +4,11 @@ Heap randomization combined with code reordering elicits variance in
 the data-cache and L2 miss counts; regressing CPI on those counts
 yields a cache performance model with confidence and prediction
 intervals, exactly as the branch model does for MPKI.
+
+Axis contract: both cache models regress the CPI response on an
+MPKI-family rate (``l1d_mpki`` / ``l2_mpki``; see
+:data:`repro.units.METRIC_UNITS`), and results expose their
+significance screens before any slope is reported.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from typing import Mapping, Sequence
 import numpy as np
 from scipy.stats import t as t_dist
 
+from repro import units
 from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel, PredictionResult
 from repro.core.observations import ObservationSet
@@ -31,7 +32,7 @@ class PredictorOutcome:
     """One candidate predictor's result on one benchmark."""
 
     predictor: str
-    mean_mpki: float
+    mean_mpki: units.Mpki
     predicted_cpi: PredictionResult
 
 
@@ -40,8 +41,8 @@ class PredictorEvaluation:
     """Figures 7+8 content for one benchmark."""
 
     benchmark: str
-    real_mean_mpki: float
-    real_mean_cpi: float
+    real_mean_mpki: units.Mpki
+    real_mean_cpi: units.Cpi
     real_cpi_confidence: Interval
     outcomes: tuple[PredictorOutcome, ...]
     model: PerformanceModel

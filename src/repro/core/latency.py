@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import units
 from repro.core.evaluate import PredictorEvaluation
 from repro.errors import ConfigurationError
 from repro.uarch.predictors.base import BranchPredictor
@@ -50,13 +51,13 @@ class AdjustedOutcome:
     """A predictor's evaluation after the latency charge."""
 
     predictor: str
-    predicted_cpi: float
-    latency_cpi: float
+    predicted_cpi: units.Cpi
+    latency_cpi: units.Cpi
 
     @property
-    def adjusted_cpi(self) -> float:
+    def adjusted_cpi(self) -> units.Cpi:
         """Model-predicted CPI plus the access-latency charge."""
-        return self.predicted_cpi + self.latency_cpi
+        return units.Cpi(self.predicted_cpi + self.latency_cpi)
 
 
 def latency_adjusted_ranking(

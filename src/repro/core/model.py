@@ -66,7 +66,15 @@ class PerformanceModel:
         x_metric: str = "mpki",
         y_metric: str = "cpi",
     ) -> "PerformanceModel":
-        """Fit a model from an observation set."""
+        """Fit a model from an observation set.
+
+        Axis contract (enforced statically by STAT001 in
+        :mod:`repro.lint`): *x_metric* carries an event rate
+        (MPKI-family) and *y_metric* a response (CPI), per
+        :data:`repro.units.METRIC_UNITS`; ``slope`` is then the cost in
+        response units per unit of event rate, and ``intercept``/
+        interval bounds are response-denominated.
+        """
         x = observations.series(x_metric)
         y = observations.series(y_metric)
         return cls(

@@ -13,7 +13,9 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import units
 from repro.errors import ModelError
+from repro.machine.counters import Counter
 from repro.machine.pmc import Measurement
 
 #: Metric names accepted by :meth:`ObservationSet.series`.
@@ -28,6 +30,15 @@ METRICS = (
     "instructions",
 )
 
+#: Counter backing each per-kilo-instruction rate metric.
+RATE_EVENTS = (
+    ("mpki", Counter.BRANCH_MISPREDICTS),
+    ("l1i_mpki", Counter.L1I_MISSES),
+    ("l1d_mpki", Counter.L1D_MISSES),
+    ("l2_mpki", Counter.L2_MISSES),
+    ("btb_mpki", Counter.BTB_MISSES),
+)
+
 
 @dataclass(frozen=True)
 class Observation:
@@ -39,33 +50,34 @@ class Observation:
     measurement: Measurement
 
     @property
-    def cpi(self) -> float:
+    def cpi(self) -> units.Cpi:
         """Cycles per instruction."""
         return self.measurement.cpi
 
     @property
-    def mpki(self) -> float:
-        """Branch mispredictions per 1000 instructions."""
+    def mpki(self) -> units.Mpki:
+        """Branch mispredictions per kilo-instruction."""
         return self.measurement.mpki
 
     def metric(self, name: str) -> float:
-        """Look up a derived metric by name."""
+        """Look up a derived metric by name.
+
+        Derived rates are built from the raw counter readings through
+        the sanctioned constructors in :mod:`repro.units`, so a unit
+        slip here is a one-line diff that UNIT002 catches.
+        """
+        measurement = self.measurement
+        instructions = measurement.instructions
         if name == "cpi":
-            return self.measurement.cpi
-        if name == "mpki":
-            return self.measurement.mpki
-        if name == "l1i_mpki":
-            return self.measurement.l1i_mpki
-        if name == "l1d_mpki":
-            return self.measurement.l1d_mpki
-        if name == "l2_mpki":
-            return self.measurement.l2_mpki
-        if name == "btb_mpki":
-            return self.measurement.btb_mpki
+            return units.cpi(measurement.cycles, instructions)
+        for rate_name, event in RATE_EVENTS:
+            if name == rate_name:
+                misses = measurement[event]
+                return units.mpki(misses, instructions)
         if name == "cycles":
-            return float(self.measurement.cycles)
+            return float(measurement.cycles)
         if name == "instructions":
-            return float(self.measurement.instructions)
+            return float(instructions)
         raise ModelError(f"unknown metric {name!r}; choose from {METRICS}")
 
 

@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import units
 from repro.core.model import PerformanceModel
 from repro.harness.lab import Laboratory, get_lab
 from repro.harness.report import format_table
@@ -55,11 +56,11 @@ class ExtendedRow:
 
     benchmark: str
     predictor: str
-    mean_mpki: float
+    mean_mpki: units.Mpki
     mpki_std: float
-    predicted_cpi: float
-    pi_low: float
-    pi_high: float
+    predicted_cpi: units.Cpi
+    pi_low: units.Cpi
+    pi_high: units.Cpi
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import units
 from repro.core.model import PerformanceModel
 from repro.harness.lab import Laboratory, get_lab
 
@@ -20,12 +21,12 @@ class HeadlineResult:
 
     benchmark: str
     model: PerformanceModel
-    mean_cpi: float
-    mean_mpki: float
-    perfect_cpi: float
+    mean_cpi: units.Cpi
+    mean_mpki: units.Mpki
+    perfect_cpi: units.Cpi
     perfect_pi_half: float
     perfect_improvement_percent: float
-    halved_cpi: float
+    halved_cpi: units.Cpi
     halved_pi_half: float
     halved_improvement_percent: float
     reduction_for_10pct: float

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import units
 from repro.errors import UnknownBenchmarkError
 from repro.harness.lab import Laboratory, get_lab
 from repro.harness.report import format_table
@@ -19,10 +20,11 @@ class Table1Row:
     """One benchmark's model parameters."""
 
     benchmark: str
+    #: CPI cost of one additional MPKI (a compound CPI-per-MPKI rate).
     slope: float
-    intercept: float
-    low: float
-    high: float
+    intercept: units.Cpi
+    low: units.Cpi
+    high: units.Cpi
     r_squared: float
     p_value: float
 

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.lint src tests examples     # lint, fail on findings
     python -m repro.lint src --json             # machine-readable report
+    python -m repro.lint src --sarif out.sarif  # code-scanning report
     python -m repro.lint src --rule SEED001     # one rule (repeatable)
     python -m repro.lint src --graph            # dump the call graph
     python -m repro.lint src tests --baseline   # ignore grandfathered
@@ -21,7 +22,12 @@ import sys
 
 from repro.errors import LintUsageError
 from repro.lint.engine import DEFAULT_BASELINE, Baseline, LintEngine
-from repro.lint.report import render_json, render_rule_list, render_text
+from repro.lint.report import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import get_rules
 
 EXIT_OK = 0
@@ -62,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (code-scanning upload)",
     )
     parser.add_argument(
         "--baseline",
@@ -133,8 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         requested.extend(r.strip() for r in args.rule if r.strip())
     try:
         rules = get_rules(sorted(set(requested))) if requested else None
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
     if args.list_rules:
@@ -167,6 +179,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    if args.sarif is not None:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(result, rules=rules))
+            fh.write("\n")
     if args.json:
         _emit(render_json(result, rules=rules))
     else:

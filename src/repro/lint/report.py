@@ -1,4 +1,4 @@
-"""Rendering lint results: human-readable text and ``--json``.
+"""Rendering lint results: human-readable text, ``--json``, ``--sarif``.
 
 The JSON schema (version 2) is stable for CI consumption::
 
@@ -92,6 +92,87 @@ def render_json(result: LintResult, rules: Sequence[Rule] | None = None) -> str:
             }
             for rule in rules
         },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+#: SARIF severity levels for the linter's severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(result: LintResult, rules: Sequence[Rule] | None = None) -> str:
+    """SARIF 2.1.0 report for code-scanning upload (``--sarif``).
+
+    One run, one driver (``repro-lint``), one result per finding.  The
+    finding fingerprint rides along as a partial fingerprint so SARIF
+    consumers can track a hazard across line shifts the same way the
+    baseline does.  Parse-error findings (``DET000``) carry no
+    registered rule; their results simply omit ``ruleIndex``.
+    """
+    rules = list(all_rules() if rules is None else rules)
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": f"{finding.message} (hint: {finding.hint})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproLintFingerprint/v1": finding.fingerprint()
+            },
+        }
+        if finding.rule in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule]
+        results.append(entry)
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.title or rule.id,
+                                "shortDescription": {
+                                    "text": rule.title or rule.id
+                                },
+                                "fullDescription": {"text": rule.rationale},
+                                "help": {"text": rule.hint},
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVELS.get(
+                                        rule.severity, "warning"
+                                    )
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=1, sort_keys=True)
 

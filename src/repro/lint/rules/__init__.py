@@ -2,7 +2,8 @@
 
 Per-file rules carry ``DET00x`` ids; whole-program (interprocedural)
 rules carry named ids (``SEED001``, ``PURE001``, ``EXC001``,
-``CONC001``) and run over the project call graph instead of one file.
+``CONC001``, and the quantity-algebra pack ``UNIT001``–``UNIT003`` /
+``STAT001``) and run over the project call graph instead of one file.
 Importing this package registers every rule; the engine then iterates
 :func:`~repro.lint.rules.base.all_rules`.
 """
@@ -18,6 +19,10 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     exc001_contract,
     pure001_purity,
     seed001_provenance,
+    stat001_contract,
+    unit001_mixed,
+    unit002_ratio,
+    unit003_call,
 )
 from repro.lint.rules.base import (
     Finding,

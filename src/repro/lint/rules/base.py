@@ -18,6 +18,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.errors import LintUsageError
+
 # Re-exported from the package leaf so rule modules (and tests) can
 # keep importing it from here without creating an import cycle.
 from repro.lint.callgraph import ImportTable  # noqa: F401
@@ -209,14 +211,20 @@ def all_rules() -> list[Rule]:
 
 
 def get_rules(ids: Iterable[str] | None = None) -> list[Rule]:
-    """The rules named by *ids* (all of them when ``None``)."""
+    """The rules named by *ids* (all of them when ``None``).
+
+    Unknown ids raise :class:`repro.errors.LintUsageError` (a usage
+    mistake, exit code 2) listing every valid id.
+    """
     if ids is None:
         return all_rules()
     rules = []
     for rule_id in ids:
         if rule_id not in _REGISTRY:
             known = ", ".join(sorted(_REGISTRY))
-            raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+            raise LintUsageError(
+                f"unknown rule {rule_id!r}; valid rule ids: {known}"
+            )
         rules.append(_REGISTRY[rule_id])
     return rules
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import units
 from repro.machine.config import XeonE5440Config
 from repro.toolchain.executable import Executable
 from repro.uarch.btb import BranchTargetBuffer
@@ -37,24 +38,24 @@ class StructuralCounts:
     l2_misses: int
 
     @property
-    def mpki(self) -> float:
-        """Branch mispredictions per 1000 instructions."""
-        return self.mispredicts / self.instructions * 1000.0
+    def mpki(self) -> units.Mpki:
+        """Branch mispredictions per kilo-instruction."""
+        return units.mpki(self.mispredicts, self.instructions)
 
     @property
-    def l1i_mpki(self) -> float:
-        """L1I misses per 1000 instructions."""
-        return self.l1i_misses / self.instructions * 1000.0
+    def l1i_mpki(self) -> units.Mpki:
+        """L1I misses per kilo-instruction."""
+        return units.mpki(self.l1i_misses, self.instructions)
 
     @property
-    def l1d_mpki(self) -> float:
-        """L1D misses per 1000 instructions."""
-        return self.l1d_misses / self.instructions * 1000.0
+    def l1d_mpki(self) -> units.Mpki:
+        """L1D misses per kilo-instruction."""
+        return units.mpki(self.l1d_misses, self.instructions)
 
     @property
-    def l2_mpki(self) -> float:
-        """L2 misses per 1000 instructions."""
-        return self.l2_misses / self.instructions * 1000.0
+    def l2_mpki(self) -> units.Mpki:
+        """L2 misses per kilo-instruction."""
+        return units.mpki(self.l2_misses, self.instructions)
 
 
 class XeonCoreModel:

@@ -42,6 +42,23 @@ class Counter(str, Enum):
         """Fixed counters are always collected and cost no programmable slot."""
         return self in (Counter.CYCLES, Counter.INSTRUCTIONS)
 
+    @property
+    def unit(self) -> str:
+        """This event's unit in the quantity algebra (:mod:`repro.units`).
+
+        Raw readings are counts: cycles, retired instructions, retired
+        branches, or miss-type events.  Per-kilo-instruction rates are
+        *derived* quantities and must be built through the sanctioned
+        constructors in :mod:`repro.units`.
+        """
+        if self is Counter.CYCLES:
+            return "cycles"
+        if self is Counter.INSTRUCTIONS:
+            return "instructions"
+        if self is Counter.BRANCHES:
+            return "branches"
+        return "misses"
+
 
 def validate_reading(reading: Mapping["Counter", int]) -> None:
     """Sanity-check one raw counter reading before the median filter.

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro import faults
+from repro import faults, units
 from repro.errors import (
     MeasurementError,
     MeasurementTimeout,
@@ -93,37 +93,37 @@ class Measurement:
         return self[Counter.INSTRUCTIONS]
 
     @property
-    def cpi(self) -> float:
+    def cpi(self) -> units.Cpi:
         """Cycles per instruction."""
-        return self.cycles / self.instructions
+        return units.cpi(self.cycles, self.instructions)
 
-    def per_kilo_instruction(self, event: Counter) -> float:
-        """Any event normalized per 1000 retired instructions."""
-        return self[event] / self.instructions * 1000.0
+    def per_kilo_instruction(self, event: Counter) -> units.Mpki:
+        """Any event normalized per kilo retired instruction."""
+        return units.per_kilo(self[event], self.instructions)
 
     @property
-    def mpki(self) -> float:
-        """Branch mispredictions per 1000 instructions."""
+    def mpki(self) -> units.Mpki:
+        """Branch mispredictions per kilo-instruction."""
         return self.per_kilo_instruction(Counter.BRANCH_MISPREDICTS)
 
     @property
-    def l1i_mpki(self) -> float:
-        """L1I misses per 1000 instructions."""
+    def l1i_mpki(self) -> units.Mpki:
+        """L1I misses per kilo-instruction."""
         return self.per_kilo_instruction(Counter.L1I_MISSES)
 
     @property
-    def l1d_mpki(self) -> float:
-        """L1D misses per 1000 instructions."""
+    def l1d_mpki(self) -> units.Mpki:
+        """L1D misses per kilo-instruction."""
         return self.per_kilo_instruction(Counter.L1D_MISSES)
 
     @property
-    def l2_mpki(self) -> float:
-        """L2 misses per 1000 instructions."""
+    def l2_mpki(self) -> units.Mpki:
+        """L2 misses per kilo-instruction."""
         return self.per_kilo_instruction(Counter.L2_MISSES)
 
     @property
-    def btb_mpki(self) -> float:
-        """BTB misses per 1000 instructions."""
+    def btb_mpki(self) -> units.Mpki:
+        """BTB misses per kilo-instruction."""
         return self.per_kilo_instruction(Counter.BTB_MISSES)
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 
+from repro import units
 from repro.machine.config import NoiseParameters, TimingParameters, XeonE5440Config
 from repro.machine.core_model import StructuralCounts
 from repro.program.structure import ProgramSpec
@@ -20,7 +21,7 @@ from repro.rng import RandomStream, derive_seed
 
 def deterministic_cycles(
     counts: StructuralCounts, spec: ProgramSpec, timing: TimingParameters
-) -> float:
+) -> units.Cycles:
     """Noise-free elapsed cycles for the given event counts."""
     base = counts.instructions * spec.intrinsic_cpi
     stall = (

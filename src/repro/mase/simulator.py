@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import units
 from repro.program.tracegen import Trace
 from repro.toolchain.camino import Camino
 from repro.toolchain.executable import Executable
@@ -56,14 +57,14 @@ class MaseResult:
     cycles: float
 
     @property
-    def cpi(self) -> float:
+    def cpi(self) -> units.Cpi:
         """Cycles per instruction."""
-        return self.cycles / self.instructions
+        return units.cpi(self.cycles, self.instructions)
 
     @property
-    def mpki(self) -> float:
-        """Mispredictions per 1000 instructions."""
-        return self.mispredicts / self.instructions * 1000.0
+    def mpki(self) -> units.Mpki:
+        """Mispredictions per kilo-instruction."""
+        return units.mpki(self.mispredicts, self.instructions)
 
 
 @dataclass

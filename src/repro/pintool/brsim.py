@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.toolchain.executable import Executable
 from repro.uarch.predictors.base import BranchPredictor
@@ -20,9 +21,9 @@ class PinResult:
     instructions: int
 
     @property
-    def mpki(self) -> float:
-        """Mispredictions per 1000 retired instructions."""
-        return self.mispredicts / self.instructions * 1000.0
+    def mpki(self) -> units.Mpki:
+        """Mispredictions per kilo retired instruction."""
+        return units.mpki(self.mispredicts, self.instructions)
 
     @property
     def accuracy(self) -> float:

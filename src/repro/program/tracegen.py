@@ -18,6 +18,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.program.behavior import update_target_history
 from repro.program.structure import ProgramSpec
@@ -111,8 +112,8 @@ class Trace:
 
     @property
     def branch_density_per_kilo_instruction(self) -> float:
-        """Dynamic branches per 1000 retired instructions."""
-        return self.n_events / self.total_instructions * 1000.0
+        """Dynamic branches per kilo retired instruction."""
+        return units.per_kilo(self.n_events, self.total_instructions)
 
     def instructions_up_to(self, n_events: int) -> int:
         """Retired instructions in the first *n_events* branch events."""

@@ -5,6 +5,10 @@ variables; its square, the coefficient of determination, gives "the
 fraction of dependence of a given observation on an underlying factor" —
 e.g. the paper finds r = 0.80 between MPKI and CPI for 473.astar, so 65%
 of astar's CPI variability is attributed to branch mispredictions.
+
+Pearson's r is dimensionless and symmetric in its arguments, so it is
+the one statistic in this package with no axis contract; the quantity
+algebra (:mod:`repro.units`) still applies to its inputs.
 """
 
 from __future__ import annotations

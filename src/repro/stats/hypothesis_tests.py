@@ -5,6 +5,11 @@ between CPI and MPKI" and rejects it with Student's t-test at p ≤ 0.05
 for single-variable models.  For the combined three-event model it uses
 the F-test instead, "as the t-test is appropriate for single-variable
 linear regression models".
+
+These screens are part of the statistical contract enforced by STAT001
+in :mod:`repro.lint`: Table-1-style reporting of slopes/intercepts must
+run (or consult) one of these tests first, and the tested axes must
+carry the units declared in :data:`repro.units.METRIC_UNITS`.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ given x; the wider 95% *prediction* interval has a 95% chance of
 containing a future *observation* at that x.  Table 1's "Low/High"
 columns are the prediction interval evaluated at MPKI = 0 (perfect
 branch prediction).
+
+Unit contract: every interval bound is denominated in the fit's
+*response* unit (CPI for the paper's models — see :mod:`repro.units`),
+and the ``x0`` arguments carry the regressor unit (MPKI); evaluating an
+interval at a CPI-valued x0 is a swapped-axes error (STAT001).
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ Two estimators are provided:
 
 Both are implemented from scratch (normal equations via QR); numpy
 supplies only linear algebra.
+
+Unit contract: the estimators are unit-generic, but the axes are not
+interchangeable — callers own the contract that *x* carries the event
+rate (MPKI-family, :data:`repro.units.METRIC_UNITS`) and *y* the
+response (CPI), so ``slope`` is response-per-rate and ``intercept`` is
+response-denominated.  Swapped axes are flagged statically by STAT001
+in :mod:`repro.lint`.
 """
 
 from __future__ import annotations

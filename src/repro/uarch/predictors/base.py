@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro import units
 from repro.errors import ConfigurationError
 
 
@@ -81,11 +82,12 @@ class BranchPredictor(ABC):
         outcomes: np.ndarray,
         instructions: int,
         warmup: int = 0,
-    ) -> float:
-        """Convenience: mispredictions per 1000 instructions."""
+    ) -> units.Mpki:
+        """Convenience: mispredictions per kilo retired instruction."""
         if instructions <= 0:
             raise ConfigurationError(f"instructions must be positive, got {instructions}")
-        return self.simulate(addresses, outcomes, warmup=warmup) / instructions * 1000.0
+        mispredicts = self.simulate(addresses, outcomes, warmup=warmup)
+        return units.mpki(mispredicts, instructions)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

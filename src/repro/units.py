@@ -1,0 +1,80 @@
+"""The quantity algebra: units for every number this reproduction publishes.
+
+Every scalar the harness reports is a physical quantity — cycles,
+retired instructions, miss counts, MPKI (misses **per kilo-instruction**)
+or CPI (cycles per instruction) — and the paper's headline result is a
+linear model over two of them.  A silent unit slip (``misses / cycles``
+instead of misses per kilo-instruction, adding a CPI to an MPKI,
+regressing on the wrong axis) corrupts Table 1 and Figures 2-8 without
+failing a single test, so the vocabulary is centralized here and
+enforced statically by the ``UNIT001``-``UNIT003``/``STAT001`` rules in
+:mod:`repro.lint` (see ``lint/unitflow.py``).
+
+The :func:`typing.NewType` aliases are identity functions at runtime —
+adopting them changes no behavior — but they let call sites declare
+which quantity a ``float`` carries, and the lint unit-flow analyzer
+seeds its lattice from these annotations.
+
+``PER_KILO`` is the **single sanctioned** per-kilo-instruction scaling
+constant; :func:`mpki` / :func:`per_kilo` / :func:`cpi` are the only
+sanctioned rate constructors.  A bare ``* 1000`` or a raw
+``misses / instructions`` anywhere else in the tree is flagged as a
+malformed ratio (UNIT002).
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Instructions per kilo-instruction — the one sanctioned scaling
+#: factor between a raw per-instruction ratio and a per-kilo rate.
+PER_KILO = 1000.0
+
+#: Raw CPU cycle count (``CPU_CLK_UNHALTED``).
+Cycles = NewType("Cycles", float)
+
+#: Retired instruction count (``INST_RETIRED``).
+Instructions = NewType("Instructions", float)
+
+#: Raw miss/mispredict event count (any of the miss-type counters).
+Misses = NewType("Misses", float)
+
+#: Misses per kilo-instruction — the paper's x-axis quantity.
+Mpki = NewType("Mpki", float)
+
+#: Cycles per instruction — the paper's y-axis quantity.
+Cpi = NewType("Cpi", float)
+
+#: Unit name for each observation metric, for documentation and for
+#: axis-contract checks (STAT001): the regression x-axis must carry a
+#: rate ("mpki") and the y-axis a response ("cpi").
+METRIC_UNITS: dict[str, str] = {
+    "cpi": "cpi",
+    "mpki": "mpki",
+    "l1i_mpki": "mpki",
+    "l1d_mpki": "mpki",
+    "l2_mpki": "mpki",
+    "btb_mpki": "mpki",
+    "cycles": "cycles",
+    "instructions": "instructions",
+}
+
+
+def per_kilo(events: float, instructions: Instructions) -> Mpki:
+    """Scale a raw event count to events per kilo retired instruction.
+
+    This is the sanctioned home of the ``/ instructions * 1000``
+    conversion; every per-kilo rate in the tree must be built here so
+    a deleted or doubled scaling factor is a one-line diff.
+    """
+    return Mpki(events / instructions * PER_KILO)
+
+
+def mpki(misses: Misses, instructions: Instructions) -> Mpki:
+    """Misses per kilo-instruction from raw counter readings."""
+    return per_kilo(misses, instructions)
+
+
+def cpi(cycles: Cycles, instructions: Instructions) -> Cpi:
+    """Cycles per retired instruction from raw counter readings."""
+    return Cpi(cycles / instructions)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import AllocationError
 from repro.heap.layout import DataLayout
 from repro.machine.counters import Counter
@@ -81,7 +82,7 @@ class TestBtbMetric:
         assert measurement.btb_mpki >= 0.0
         counts = machine._oracle_counts(exe)
         assert measurement.btb_mpki == pytest.approx(
-            counts.btb_misses / counts.instructions * 1000.0, rel=0.02
+            units.mpki(counts.btb_misses, counts.instructions), rel=0.02
         )
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import units
 from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
 from repro.harness.lab import Laboratory
@@ -31,7 +32,7 @@ class TestEndToEnd:
         penalty (26 cycles -> 0.026 CPI per MPKI) scaled by exposure."""
         model = lab.model("462.libquantum")
         exposure = lab.benchmark("462.libquantum").personality.mispredict_exposure
-        expected = 26.0 * exposure / 1000.0
+        expected = 26.0 * exposure / units.PER_KILO
         assert model.slope == pytest.approx(expected, rel=0.4)
 
     def test_predicted_perfect_cpi_below_mean(self, lab):

@@ -406,7 +406,7 @@ class TestEngine:
         assert only_clock == []
 
     def test_unknown_rule_id_rejected(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(LintUsageError, match="valid rule ids"):
             get_rules(["DET999"])
 
     def test_shipped_tree_is_clean_with_no_baseline(self):

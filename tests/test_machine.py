@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import MeasurementError
 from repro.machine.config import NoiseParameters, TimingParameters, XeonE5440Config
 from repro.machine.counters import PAPER_EVENTS, Counter
@@ -62,7 +63,7 @@ class TestCoreModel:
     def test_derived_rates(self, machine, exe):
         counts = machine._oracle_counts(exe)
         assert counts.mpki == pytest.approx(
-            counts.mispredicts / counts.instructions * 1000.0
+            units.mpki(counts.mispredicts, counts.instructions)
         )
         assert counts.l2_mpki <= counts.l1d_mpki + counts.l1i_mpki + 1e-9
 
@@ -187,7 +188,7 @@ class TestMeasurement:
     def test_derived_metrics(self, machine, exe):
         measurement = measure_executable(machine, exe)
         assert measurement.cpi == pytest.approx(
-            measurement.cycles / measurement.instructions
+            units.cpi(measurement.cycles, measurement.instructions)
         )
         assert measurement.mpki >= 0.0
 

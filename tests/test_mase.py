@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import units
 from repro.mase.configs import N_CONFIGS, mase_predictor_configs
 from repro.mase.linearity import LinearityStudy
 from repro.mase.simulator import MaseSimulator
@@ -53,7 +54,9 @@ class TestSimulator:
     def test_cpi_consistent(self, prepared):
         simulator, prep = prepared
         result = simulator.run(prep, BimodalPredictor(512))
-        assert result.cpi == pytest.approx(result.cycles / result.instructions)
+        assert result.cpi == pytest.approx(
+            units.cpi(result.cycles, result.instructions)
+        )
 
     def test_more_mispredicts_more_cycles(self, prepared):
         simulator, prep = prepared

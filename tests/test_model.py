@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import units
 from repro.core.model import CombinedModel, PerformanceModel
 from repro.core.observations import Observation, ObservationSet
 from repro.machine.counters import Counter
@@ -21,7 +22,7 @@ def _synthetic_observations(
     for i in range(n):
         mpki = rng.uniform(4.0, 9.0)
         cpi = slope * mpki + intercept + rng.normal(0, noise)
-        mispredicts = int(mpki * instructions / 1000)
+        mispredicts = int(mpki * instructions / units.PER_KILO)
         cycles = int(cpi * instructions)
         l1i = int(rng.uniform(90, 110))
         l2 = int(rng.uniform(900, 1100))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.pintool.brsim import PinTool
 from repro.uarch.predictors.bimodal import BimodalPredictor
@@ -49,7 +50,7 @@ class TestPinTool:
     def test_mpki_formula(self, exe):
         result = PinTool([BimodalPredictor(64)]).run(exe)["bimodal-64"]
         assert result.mpki == pytest.approx(
-            result.mispredicts / result.instructions * 1000.0
+            units.mpki(result.mispredicts, result.instructions)
         )
 
     def test_empty_predictors_rejected(self):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import units
 from repro.errors import ConfigurationError
 from repro.program.tracegen import generate_trace
 
@@ -77,7 +78,7 @@ class TestInstructionAccounting:
     def test_branch_density(self, tiny_trace):
         density = tiny_trace.branch_density_per_kilo_instruction
         # instr_gap=5 everywhere -> 1 branch per 6 instructions.
-        assert density == pytest.approx(1000.0 / 6.0, rel=0.01)
+        assert density == pytest.approx(units.PER_KILO / 6.0, rel=0.01)
 
 
 class TestAccessStreams:
