@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Scalar-vs-vector simulation-kernel benchmark.
+
+Every address-hashed structure in :mod:`repro.uarch` carries two
+simulation engines: the per-event scalar loop (the differential
+oracle) and the chunked numpy kernels of :mod:`repro.uarch.vector`.
+This benchmark times both engines on campaign-shaped inputs and
+verifies — on every row — that they produce identical counts, then
+writes the results to ``BENCH_kernels.json``.
+
+Workloads:
+
+* direction predictors and the BTB over the concatenated per-layout
+  branch streams of 445.gobmk (one stream per reordered executable,
+  ``REPRO_SCALE`` layouts);
+* the L1I cache over the concatenated ifetch streams;
+* the indirect-target predictors over an interpreter-shaped program
+  (the suite benchmarks have no indirect sites);
+* an end-to-end interferometry campaign on the structural core model,
+  one fresh :class:`XeonCoreModel` per engine so the memo cache cannot
+  leak results across engines.
+
+Run:  python benchmarks/bench_kernels.py [--output PATH]
+Exits 1 if any scalar/vector count diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import telemetry
+from repro.harness.lab import get_lab
+from repro.machine.config import XeonE5440Config
+from repro.machine.core_model import XeonCoreModel
+from repro.program.tracegen import generate_trace
+from repro.toolchain.camino import Camino
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import SetAssociativeCache
+from repro.uarch.predictors.agree import AgreePredictor
+from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.gas import GAsPredictor
+from repro.uarch.predictors.gshare import GsharePredictor
+from repro.uarch.predictors.hybrid import HybridPredictor
+from repro.uarch.predictors.indirect import IttageLitePredictor, LastTargetPredictor
+from repro.uarch.predictors.pas import PAsPredictor
+from repro.uarch.predictors.tournament import TournamentPredictor
+from repro.workloads.suite import get_benchmark
+
+BENCHMARK = "445.gobmk"
+
+
+def _load_interpreter_spec():
+    """The interpreter-shaped spec from examples/indirect_interferometry."""
+    import importlib.util
+
+    path = Path(__file__).resolve().parent.parent / "examples" / "indirect_interferometry.py"
+    spec = importlib.util.spec_from_file_location("indirect_example", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.build_interpreter()
+
+
+def _campaign_streams(lab):
+    """Per-layout branch and ifetch streams of the campaign benchmark."""
+    bm = get_benchmark(BENCHMARK)
+    branch, ifetch = [], []
+    for i in range(lab.scale.n_layouts):
+        exe = lab.interferometer.build_executable(bm, i)
+        branch.append((exe.branch_address_stream(), exe.trace.outcomes))
+        ifetch.append(exe.ifetch_address_stream())
+    return branch, ifetch
+
+
+def _indirect_streams(lab):
+    """Per-layout (addresses, targets) streams of the interpreter spec."""
+    spec = _load_interpreter_spec()
+    toolchain = Camino()
+    n_layouts = max(2, lab.scale.n_layouts // 5)
+    n_events = lab.scale.trace_events * 5
+    streams = []
+    for i in range(n_layouts):
+        trace = generate_trace(spec, seed=101 + i, n_events=n_events)
+        exe = toolchain.build(spec, trace, layout_seed=1000 + i)
+        streams.append((exe.branch_address_stream(), exe.trace.targets))
+    return streams
+
+
+def _time_engine(run) -> tuple[float, int]:
+    """Best-of-2 wall time and the (identical) count of one engine."""
+    best, count = float("inf"), 0
+    for _ in range(2):
+        start = telemetry.tick_seconds()
+        count = run()
+        best = min(best, telemetry.tick_seconds() - start)
+    return best, count
+
+
+def bench_row(name: str, n_events: int, scalar_run, vector_run) -> dict:
+    """Time both engines over the same streams and compare their counts."""
+    scalar_s, scalar_count = _time_engine(scalar_run)
+    vector_s, vector_count = _time_engine(vector_run)
+    row = {
+        "kernel": name,
+        "events": n_events,
+        "scalar_count": scalar_count,
+        "vector_count": vector_count,
+        "diverged": scalar_count != vector_count,
+        "scalar_ns_per_event": scalar_s / n_events * 1e9,
+        "vector_ns_per_event": vector_s / n_events * 1e9,
+        "scalar_events_per_sec": n_events / scalar_s,
+        "vector_events_per_sec": n_events / vector_s,
+        "speedup": scalar_s / vector_s,
+    }
+    print(
+        f"  {name:<24s} {n_events:>9d} ev  "
+        f"scalar {row['scalar_ns_per_event']:7.0f} ns/ev  "
+        f"vector {row['vector_ns_per_event']:7.0f} ns/ev  "
+        f"{row['speedup']:5.1f}x"
+        + ("  ** DIVERGED **" if row["diverged"] else "")
+    )
+    return row
+
+
+def _simulate_streams(structure, streams, warmup_fraction: float, engine: str) -> int:
+    total = 0
+    for addrs, outcomes in streams:
+        total += structure.simulate(
+            addrs, outcomes, warmup=int(len(addrs) * warmup_fraction), engine=engine
+        )
+    return total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    lab = get_lab()
+    print(f"scale={lab.scale.name}: building {lab.scale.n_layouts} layouts of {BENCHMARK} ...")
+    branch_streams, ifetch_streams = _campaign_streams(lab)
+    n_branch = sum(len(a) for a, _ in branch_streams)
+    indirect_streams = _indirect_streams(lab)
+    n_indirect_events = sum(len(a) for a, _ in indirect_streams)
+    n_indirect = sum(int(np.count_nonzero(t >= 0)) for _, t in indirect_streams)
+    n_ifetch = sum(len(a) for a in ifetch_streams)
+    print(
+        f"streams: {n_branch} branch events, {n_ifetch} ifetch accesses, "
+        f"{n_indirect} indirect branches (of {n_indirect_events} events)"
+    )
+
+    config = XeonE5440Config()
+    predictors = {
+        "bimodal-4096": lambda: BimodalPredictor(4096),
+        "gshare-4096x12": lambda: GsharePredictor(4096, history_bits=12),
+        "gas-4096x10": lambda: GAsPredictor(4096, history_bits=10),
+        "pas-1024x16384": lambda: PAsPredictor(1024, 16384, history_bits=10),
+        "agree-4096x8": lambda: AgreePredictor(4096, history_bits=8, bias_entries=2048),
+        "tournament-alpha": lambda: TournamentPredictor(),
+        "hybrid-xeon": lambda: HybridPredictor(
+            bimodal_entries=config.bimodal_entries,
+            global_entries=config.global_entries,
+            history_bits=config.history_bits,
+            chooser_entries=config.chooser_entries,
+        ),
+    }
+
+    rows = []
+    print("direction predictors:")
+    for name, factory in predictors.items():
+        structure = factory()
+        rows.append(
+            bench_row(
+                name,
+                n_branch,
+                lambda: _simulate_streams(structure, branch_streams, 0.25, "scalar"),
+                lambda: _simulate_streams(structure, branch_streams, 0.25, "vector"),
+            )
+        )
+
+    print("btb:")
+    btb = BranchTargetBuffer(
+        entries=config.btb_entries, associativity=config.btb_associativity
+    )
+    rows.append(
+        bench_row(
+            "btb-xeon",
+            n_branch,
+            lambda: _simulate_streams(btb, branch_streams, 0.25, "scalar"),
+            lambda: _simulate_streams(btb, branch_streams, 0.25, "vector"),
+        )
+    )
+
+    print("caches:")
+    l1i = SetAssociativeCache(config.l1i)
+
+    def cache_run(engine):
+        return sum(l1i.simulate(addrs, engine=engine) for addrs in ifetch_streams)
+
+    rows.append(
+        bench_row(
+            "l1i-cache",
+            n_ifetch,
+            lambda: cache_run("scalar"),
+            lambda: cache_run("vector"),
+        )
+    )
+
+    print("indirect-target predictors:")
+    for name, factory in {
+        "last-target-512": lambda: LastTargetPredictor(512),
+        "ittage-lite-1024": lambda: IttageLitePredictor(1024, 512),
+    }.items():
+        structure = factory()
+        rows.append(
+            bench_row(
+                name,
+                n_indirect,
+                lambda: _simulate_streams(structure, indirect_streams, 0.25, "scalar"),
+                lambda: _simulate_streams(structure, indirect_streams, 0.25, "vector"),
+            )
+        )
+
+    print("end-to-end campaign (structural core model):")
+    bm = get_benchmark(BENCHMARK)
+    executables = [
+        lab.interferometer.build_executable(bm, i) for i in range(lab.scale.n_layouts)
+    ]
+
+    def campaign(engine):
+        core = XeonCoreModel(config)
+        return sum(core.execute(exe, engine=engine).mispredicts for exe in executables)
+
+    end_to_end = bench_row(
+        "campaign-e2e",
+        n_branch,
+        lambda: campaign("scalar"),
+        lambda: campaign("vector"),
+    )
+
+    diverged = any(r["diverged"] for r in rows) or end_to_end["diverged"]
+    report = {
+        "scale": lab.scale.name,
+        "benchmark": BENCHMARK,
+        "n_layouts": lab.scale.n_layouts,
+        "branch_events": n_branch,
+        "ifetch_accesses": n_ifetch,
+        "indirect_branches": n_indirect,
+        "rows": rows,
+        "end_to_end": end_to_end,
+        "diverged": diverged,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if diverged:
+        print("FAIL: scalar and vector engines diverged", file=sys.stderr)
+        return 1
+    best = max(r["speedup"] for r in rows)
+    print(f"max kernel speedup: {best:.1f}x; end-to-end {end_to_end['speedup']:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    os.environ.setdefault("REPRO_SCALE", "small")
+    sys.exit(main())

@@ -20,6 +20,7 @@ from repro.uarch.btb import BranchTargetBuffer
 from repro.uarch.caches import CacheHierarchy
 from repro.uarch.predictors.hybrid import HybridPredictor
 from repro.uarch.predictors.indirect import LastTargetPredictor
+from repro.uarch.vector import require_engine
 
 
 @dataclass(frozen=True)
@@ -82,8 +83,16 @@ class XeonCoreModel:
         self._cache: OrderedDict[str, StructuralCounts] = OrderedDict()
         self._cache_entries = cache_entries
 
-    def execute(self, executable: Executable) -> StructuralCounts:
-        """Simulate *executable*; returns cached counts when available."""
+    def execute(
+        self, executable: Executable, engine: str = "vector"
+    ) -> StructuralCounts:
+        """Simulate *executable*; returns cached counts when available.
+
+        *engine* selects the simulation implementation for every
+        structure (see :mod:`repro.uarch.vector`); both engines produce
+        identical counts, so the memo cache is shared between them.
+        """
+        require_engine(engine)
         key = executable.fingerprint
         cached = self._cache.get(key)
         if cached is not None:
@@ -94,11 +103,15 @@ class XeonCoreModel:
         branch_addrs = executable.branch_address_stream()
         outcomes = trace.outcomes
         warmup = int(trace.n_events * self.config.warmup_fraction)
-        mispredicts = self._predictor.simulate(branch_addrs, outcomes, warmup=warmup)
-        btb_misses = self._btb.simulate(branch_addrs, outcomes, warmup=warmup)
+        mispredicts = self._predictor.simulate(
+            branch_addrs, outcomes, warmup=warmup, engine=engine
+        )
+        btb_misses = self._btb.simulate(
+            branch_addrs, outcomes, warmup=warmup, engine=engine
+        )
         if int(trace.targets.max(initial=-1)) >= 0:
             indirect_mispredicts = self._target_predictor.simulate(
-                branch_addrs, trace.targets, warmup=warmup
+                branch_addrs, trace.targets, warmup=warmup, engine=engine
             )
         else:
             indirect_mispredicts = 0
@@ -108,6 +121,7 @@ class XeonCoreModel:
             executable.data_address_stream(),
             trace.dacc_event,
             warmup_event=warmup,
+            engine=engine,
         )
         counts = StructuralCounts(
             instructions=trace.total_instructions - trace.instructions_up_to(warmup),

@@ -95,7 +95,12 @@ class MaseSimulator:
         self.config = config if config is not None else MaseConfig()
         self._toolchain = Camino()
 
-    def prepare(self, benchmark: Benchmark, trace_events: int = 12000) -> PreparedBenchmark:
+    def prepare(
+        self,
+        benchmark: Benchmark,
+        trace_events: int = 12000,
+        engine: str = "vector",
+    ) -> PreparedBenchmark:
         """Build the baseline-layout executable and pre-simulate caches."""
         trace: Trace = benchmark.trace(trace_events)
         executable = self._toolchain.build(benchmark.spec, trace, layout_seed=None)
@@ -108,6 +113,7 @@ class MaseSimulator:
             executable.data_address_stream(),
             bound_trace.dacc_event,
             warmup_event=warmup,
+            engine=engine,
         )
         memory_cycles = (
             counts.l1i_misses * self.config.l1i_penalty
@@ -130,10 +136,15 @@ class MaseSimulator:
             l1d_miss_rate=l1d_miss_rate,
         )
 
-    def run(self, prepared: PreparedBenchmark, predictor: BranchPredictor) -> MaseResult:
+    def run(
+        self,
+        prepared: PreparedBenchmark,
+        predictor: BranchPredictor,
+        engine: str = "vector",
+    ) -> MaseResult:
         """Simulate one predictor over a prepared benchmark."""
         mispredicts = predictor.simulate(
-            prepared.addresses, prepared.outcomes, warmup=prepared.warmup
+            prepared.addresses, prepared.outcomes, warmup=prepared.warmup, engine=engine
         )
         spec = prepared.benchmark.spec
         personality = prepared.benchmark.personality

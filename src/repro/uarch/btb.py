@@ -13,6 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
+from repro.uarch.caches import lru_access
 
 
 class BranchTargetBuffer:
@@ -43,55 +45,49 @@ class BranchTargetBuffer:
         had no entry).  Taken branches allocate/refresh their entry;
         not-taken branches never miss (fall-through needs no target).
         """
+        if not taken:
+            return False
         idx = (pc >> 2) & (self.n_sets - 1)
         tag = (pc >> 2) >> (self.n_sets.bit_length() - 1)
-        ways = self._sets[idx]
-        hit = tag in ways
-        if taken:
-            if hit:
-                if ways[0] != tag:
-                    ways.remove(tag)
-                    ways.insert(0, tag)
-                return False
-            ways.insert(0, tag)
-            if len(ways) > self.associativity:
-                ways.pop()
-            return True
-        return False
+        return lru_access(self._sets[idx], tag, self.associativity)
 
-    def simulate(self, addresses: np.ndarray, outcomes: np.ndarray, warmup: int = 0) -> int:
+    def simulate(
+        self,
+        addresses: np.ndarray,
+        outcomes: np.ndarray,
+        warmup: int = 0,
+        engine: str = "vector",
+    ) -> int:
         """Reset and stream the branch trace; return taken-branch misses.
 
         Misses are counted only for events with index >= *warmup*; the
-        warm-up region still trains the buffer.
+        warm-up region still trains the buffer.  *engine* selects the
+        implementation (the LRU kernel or the per-event
+        :meth:`lookup_and_update` oracle loop), never the count.
         """
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        vector.require_engine(engine)
         self.reset()
-        if warmup > 0:
-            self._stream(addresses[:warmup], outcomes[:warmup], count=False)
-            return self._stream(addresses[warmup:], outcomes[warmup:], count=True)
-        return self._stream(addresses, outcomes, count=True)
-
-    def _stream(self, addresses: np.ndarray, outcomes: np.ndarray, count: bool) -> int:
-        set_mask = self.n_sets - 1
-        tag_shift = self.n_sets.bit_length() - 1
-        assoc = self.associativity
-        sets = self._sets
-        misses = 0
-        pcs = (addresses >> 2).tolist()
-        outs = outcomes.tolist()
-        for pc, taken in zip(pcs, outs):
-            if not taken:
-                continue
-            ways = sets[pc & set_mask]
-            tag = pc >> tag_shift
-            if tag in ways:
-                if ways[0] != tag:
-                    ways.remove(tag)
-                    ways.insert(0, tag)
-            else:
-                if count:
+        if engine == "scalar":
+            lookup = self.lookup_and_update
+            misses = 0
+            for i, (pc, taken) in enumerate(
+                zip(addresses.tolist(), outcomes.tolist())
+            ):
+                if lookup(pc, taken) and i >= warmup:
                     misses += 1
-                ways.insert(0, tag)
-                if len(ways) > assoc:
-                    ways.pop()
-        return misses
+            return misses
+        taken_events = np.nonzero(outcomes != 0)[0]
+        pcs = addresses[taken_events] >> 2
+        tag_shift = self.n_sets.bit_length() - 1
+        state = vector.LruState(self.n_sets, self.associativity)
+        n = int(taken_events.size)
+        miss = np.zeros(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            chunk = pcs[start:stop]
+            miss[start:stop] = vector.lru_scan(
+                state, chunk & (self.n_sets - 1), chunk >> tag_shift
+            )
+        self._sets = state.to_ways_lists()
+        return int(np.count_nonzero(miss & (taken_events >= warmup)))

@@ -15,10 +15,30 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 
 
 def _is_pow2(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
+
+
+def lru_access(ways: list[int], tag: int, associativity: int) -> bool:
+    """Access *tag* in an MRU-first way list; return True on a miss.
+
+    The one implementation of the true-LRU hit/fill discipline, shared
+    by :class:`SetAssociativeCache` and the branch target buffer: a hit
+    moves the tag to the MRU slot (skipped when already there), a miss
+    installs it and evicts the LRU way once the set is full.
+    """
+    if tag in ways:
+        if ways[0] != tag:
+            ways.remove(tag)
+            ways.insert(0, tag)
+        return False
+    ways.insert(0, tag)
+    if len(ways) > associativity:
+        ways.pop()
+    return True
 
 
 @dataclass(frozen=True)
@@ -61,7 +81,10 @@ class SetAssociativeCache:
 
     The cache is stateful across :meth:`access` calls; :meth:`reset`
     empties it.  Bulk simulation uses :meth:`simulate_mask`, which
-    resets first and returns a per-access miss mask.
+    resets first and returns a per-access miss mask computed either by
+    the :mod:`repro.uarch.vector` LRU kernel (``engine="vector"``) or
+    by the per-access :meth:`access` oracle loop (``engine="scalar"``);
+    both produce identical masks.
     """
 
     def __init__(self, config: CacheConfig) -> None:
@@ -75,48 +98,39 @@ class SetAssociativeCache:
 
     def access(self, address: int) -> bool:
         """Access one address; return True on a miss."""
-        shift = self.config.block_shift
-        block = address >> shift
+        block = address >> self.config.block_shift
         set_idx = block & (self.config.n_sets - 1)
         tag = block >> (self.config.n_sets.bit_length() - 1)
-        ways = self._sets[set_idx]
-        if tag in ways:
-            ways.remove(tag)
-            ways.insert(0, tag)
-            return False
-        ways.insert(0, tag)
-        if len(ways) > self.config.associativity:
-            ways.pop()
-        return True
+        return lru_access(self._sets[set_idx], tag, self.config.associativity)
 
-    def simulate_mask(self, addresses: np.ndarray) -> np.ndarray:
+    def simulate_mask(
+        self, addresses: np.ndarray, engine: str = "vector"
+    ) -> np.ndarray:
         """Reset, stream *addresses* through the cache, return miss mask."""
+        vector.require_engine(engine)
         self.reset()
+        n = int(addresses.size)
+        misses = np.zeros(n, dtype=bool)
+        if engine == "scalar":
+            access = self.access
+            for i, address in enumerate(addresses.tolist()):
+                if access(address):
+                    misses[i] = True
+            return misses
         config = self.config
-        shift = config.block_shift
-        set_mask = config.n_sets - 1
         set_shift = config.n_sets.bit_length() - 1
-        assoc = config.associativity
-        blocks = (addresses >> shift).tolist()
-        sets = self._sets
-        misses = np.zeros(len(blocks), dtype=bool)
-        for i, block in enumerate(blocks):
-            ways = sets[block & set_mask]
-            tag = block >> set_shift
-            if tag in ways:
-                if ways[0] != tag:
-                    ways.remove(tag)
-                    ways.insert(0, tag)
-            else:
-                misses[i] = True
-                ways.insert(0, tag)
-                if len(ways) > assoc:
-                    ways.pop()
+        state = vector.LruState(config.n_sets, config.associativity)
+        for start, stop in vector.iter_chunks(n):
+            blocks = addresses[start:stop] >> config.block_shift
+            misses[start:stop] = vector.lru_scan(
+                state, blocks & (config.n_sets - 1), blocks >> set_shift
+            )
+        self._sets = state.to_ways_lists()
         return misses
 
-    def simulate(self, addresses: np.ndarray) -> int:
+    def simulate(self, addresses: np.ndarray, engine: str = "vector") -> int:
         """Reset and stream; return the miss count."""
-        return int(np.count_nonzero(self.simulate_mask(addresses)))
+        return int(np.count_nonzero(self.simulate_mask(addresses, engine=engine)))
 
 
 @dataclass(frozen=True)
@@ -151,16 +165,19 @@ class CacheHierarchy:
         data_addresses: np.ndarray,
         data_events: np.ndarray,
         warmup_event: int = 0,
+        engine: str = "vector",
     ) -> HierarchyCounts:
         """Simulate the full hierarchy over bound access streams.
 
         The whole streams are simulated (so the caches are warm), but
         accesses and misses are *counted* only for branch events with
         index >= *warmup_event* — the same measurement window the
-        predictors use.
+        predictors use.  *engine* selects the per-level simulation
+        implementation (see :meth:`SetAssociativeCache.simulate_mask`),
+        never the counts.
         """
-        i_miss = self.l1i.simulate_mask(ifetch_addresses)
-        d_miss = self.l1d.simulate_mask(data_addresses)
+        i_miss = self.l1i.simulate_mask(ifetch_addresses, engine=engine)
+        d_miss = self.l1d.simulate_mask(data_addresses, engine=engine)
         i_addr = ifetch_addresses[i_miss]
         d_addr = data_addresses[d_miss]
         # Order L2 fills by (event, fetch-before-data).
@@ -172,7 +189,7 @@ class CacheHierarchy:
         order = np.argsort(merged_key, kind="stable")
         l2_stream = merged_addr[order]
         l2_events = merged_ev[order]
-        l2_miss = self.l2.simulate_mask(l2_stream)
+        l2_miss = self.l2.simulate_mask(l2_stream, engine=engine)
         i_window = ifetch_events >= warmup_event
         d_window = data_events >= warmup_event
         l2_window = l2_events >= warmup_event

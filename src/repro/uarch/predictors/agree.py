@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -78,31 +79,37 @@ class AgreePredictor(BranchPredictor):
             (1 << self.history_bits) - 1
         )
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        pht = self._pht
-        bias_table = self._bias
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        # Index math is shared with predict_and_update (pc unmasked);
+        # the old fused loop truncated the pc to 31 bits and silently
+        # diverged from the scalar path on high addresses.
+        pht = np.array(self._pht, dtype=np.int8)
+        bias_table = np.array(self._bias, dtype=np.int8)
         pht_mask = self.entries - 1
         bias_mask = self.bias_entries - 1
-        hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
-        outs = outcomes.tolist()
         history = self._history
-        mispredicts = 0
-        for pc, outcome in zip(pcs, outs):
-            bias = bias_table[pc & bias_mask]
-            if bias < 0:
-                bias_table[pc & bias_mask] = outcome
-            else:
-                pht_idx = (pc ^ history) & pht_mask
-                counter = pht[pht_idx]
-                prediction = bias if counter >= 2 else 1 - bias
-                if prediction != outcome:
-                    mispredicts += 1
-                if outcome == bias:
-                    if counter < 3:
-                        pht[pht_idx] = counter + 1
-                elif counter > 0:
-                    pht[pht_idx] = counter - 1
-            history = ((history << 1) | outcome) & hist_mask
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            pcs = addresses[start:stop] >> 2
+            outc = outcomes[start:stop]
+            hist, history = vector.shifted_histories(
+                self.history_bits, outc, history
+            )
+            bias, installed = vector.sticky_install_scan(
+                pcs & bias_mask, outc, bias_table
+            )
+            # Installing events predict trivially and skip PHT training;
+            # a zero delta keeps them inert in the counter scan.
+            delta = np.where(
+                installed, 0, np.where(bias == outc, 1, -1)
+            ).astype(np.int8)
+            pre = vector.counter_scan((pcs ^ hist) & pht_mask, delta, pht, 0, 3)
+            prediction = np.where(pre >= 2, bias, 1 - bias)
+            mis[start:stop] = ~installed & (prediction != outc)
+        self._pht = pht.tolist()
+        self._bias = bias_table.tolist()
         self._history = history
-        return mispredicts
+        return mis

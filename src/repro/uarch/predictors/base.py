@@ -8,6 +8,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import ConfigurationError
+from repro.uarch.vector import require_engine
 
 
 def require_power_of_two(value: int, what: str) -> int:
@@ -22,10 +23,12 @@ class BranchPredictor(ABC):
 
     Predictors are stateful; :meth:`reset` restores the power-on state so
     one instance can be reused across runs ("we control the initial
-    conditions of the simulator", §7.2).  The scalar
-    :meth:`predict_and_update` interface exists for clarity and testing;
-    bulk simulation goes through :meth:`simulate`, which concrete classes
-    override with optimized loops.
+    conditions of the simulator", §7.2).  Bulk simulation goes through
+    :meth:`simulate`, which offers two engines with bit-identical
+    counts: ``"vector"`` (numpy kernels from :mod:`repro.uarch.vector`,
+    via :meth:`_vector_mispredict_mask`, falling back to :meth:`_run`)
+    and ``"scalar"`` (the per-event :meth:`predict_and_update` loop,
+    kept as the differential-testing oracle).
     """
 
     #: Human-readable predictor name (e.g. ``"GAs-8KB"``).
@@ -46,7 +49,13 @@ class BranchPredictor(ABC):
         """Approximate hardware budget of the prediction tables, in bits."""
         return 0
 
-    def simulate(self, addresses: np.ndarray, outcomes: np.ndarray, warmup: int = 0) -> int:
+    def simulate(
+        self,
+        addresses: np.ndarray,
+        outcomes: np.ndarray,
+        warmup: int = 0,
+        engine: str = "vector",
+    ) -> int:
         """Run the predictor over a bound trace; return mispredictions.
 
         The predictor is reset, then the whole trace is executed; only
@@ -54,20 +63,57 @@ class BranchPredictor(ABC):
         The warm-up window plays the role SimPoint warming plays in the
         paper's simulations: our canonical traces are short slices, so
         counting cold-start transients would distort event rates.
+
+        *engine* selects the implementation, never the semantics:
+        ``"vector"`` uses the numpy batch kernels, ``"scalar"`` the
+        per-event :meth:`predict_and_update` oracle loop; both produce
+        identical counts (enforced by the differential test suite).
         """
         if warmup < 0:
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        require_engine(engine)
         self.reset()
+        if engine == "scalar":
+            return self._run_oracle(addresses, outcomes, warmup)
+        mask = self._vector_mispredict_mask(addresses, outcomes)
+        if mask is not None:
+            return int(np.count_nonzero(mask[warmup:]))
         if warmup > 0:
             self._run(addresses[:warmup], outcomes[:warmup])
             return self._run(addresses[warmup:], outcomes[warmup:])
         return self._run(addresses, outcomes)
 
+    def _run_oracle(
+        self, addresses: np.ndarray, outcomes: np.ndarray, warmup: int
+    ) -> int:
+        """Reference per-event loop: the differential-testing oracle."""
+        mispredicts = 0
+        predict = self.predict_and_update
+        for i, (pc, outcome) in enumerate(
+            zip(addresses.tolist(), outcomes.tolist())
+        ):
+            if not predict(pc, outcome) and i >= warmup:
+                mispredicts += 1
+        return mispredicts
+
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray | None:
+        """Full-trace mispredict mask from the vector kernels, or None.
+
+        Subclasses with an array formulation return a bool array (one
+        entry per event) and leave their tables in the post-trace
+        state; returning None routes the vector engine through
+        :meth:`_run`.
+        """
+        return None
+
     def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
         """Execute a trace slice *without* resetting; return mispredictions.
 
         The default implementation calls :meth:`predict_and_update` per
-        event; subclasses override with fused loops for speed.
+        event; subclasses without a vector kernel override this with
+        fused loops.
         """
         mispredicts = 0
         predict = self.predict_and_update

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -40,18 +41,18 @@ class BimodalPredictor(BranchPredictor):
             self._table[idx] = counter - 1
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        table = self._table
-        indices = ((addresses >> 2) & (self.entries - 1)).tolist()
-        outs = outcomes.tolist()
-        mispredicts = 0
-        for idx, outcome in zip(indices, outs):
-            counter = table[idx]
-            if (counter >= 2) != (outcome == 1):
-                mispredicts += 1
-            if outcome:
-                if counter < 3:
-                    table[idx] = counter + 1
-            elif counter > 0:
-                table[idx] = counter - 1
-        return mispredicts
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        table = np.array(self._table, dtype=np.int8)
+        index_mask = self.entries - 1
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            idx = (addresses[start:stop] >> 2) & index_mask
+            outc = outcomes[start:stop]
+            delta = (2 * outc - 1).astype(np.int8)
+            pre = vector.counter_scan(idx, delta, table, 0, 3)
+            np.not_equal(pre >= 2, outc == 1, out=mis[start:stop])
+        self._table = table.tolist()
+        return mis

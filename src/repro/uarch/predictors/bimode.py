@@ -47,9 +47,16 @@ class BiModePredictor(BranchPredictor):
     def storage_bits(self) -> int:
         return 2 * (2 * self.entries) + 2 * self.choice_entries + self.history_bits
 
+    def _indices(self, pc: int, history: int) -> tuple[int, int]:
+        """(choice, direction) table indices — the one place index math lives."""
+        pc2 = pc >> 2
+        return (
+            pc2 & (self.choice_entries - 1),
+            (pc2 ^ history) & (self.entries - 1),
+        )
+
     def predict_and_update(self, pc: int, outcome: int) -> bool:
-        choice_idx = (pc >> 2) & (self.choice_entries - 1)
-        direction_idx = ((pc >> 2) ^ self._history) & (self.entries - 1)
+        choice_idx, direction_idx = self._indices(pc, self._history)
         use_taken_bank = self._choice[choice_idx] >= 2
         bank = self._taken if use_taken_bank else self._not_taken
         counter = bank[direction_idx]
@@ -77,19 +84,22 @@ class BiModePredictor(BranchPredictor):
         return prediction == outcome
 
     def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
+        # Bulk path for the vector engine (the dual-bank partial update
+        # has no array formulation yet).  Indices come from _indices,
+        # shared with predict_and_update: an earlier version inlined
+        # the math over a 31-bit-truncated pc and silently diverged
+        # from the scalar path on high addresses.
         taken_bank = self._taken
         not_taken_bank = self._not_taken
         choice_table = self._choice
-        dir_mask = self.entries - 1
-        choice_mask = self.choice_entries - 1
         hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
+        pcs = addresses.tolist()
         outs = outcomes.tolist()
         history = self._history
+        indices = self._indices
         mispredicts = 0
         for pc, outcome in zip(pcs, outs):
-            choice_idx = pc & choice_mask
-            direction_idx = (pc ^ history) & dir_mask
+            choice_idx, direction_idx = indices(pc, history)
             use_taken = choice_table[choice_idx] >= 2
             bank = taken_bank if use_taken else not_taken_bank
             counter = bank[direction_idx]

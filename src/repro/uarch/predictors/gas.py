@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 from repro.uarch.predictors.hybrid import HybridPredictor
 
@@ -63,31 +64,26 @@ class GAsPredictor(BranchPredictor):
         self._history = ((self._history << 1) | outcome) & ((1 << self.history_bits) - 1)
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        table = self._table
-        hist_bits = self.history_bits
-        hist_mask = (1 << hist_bits) - 1
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        table = np.array(self._table, dtype=np.int8)
         addr_mask = (1 << self.address_bits) - 1
-        # Precompute the shifted address partition of the index.
-        addr_parts = ((((addresses >> 2) & addr_mask)) << hist_bits).tolist()
-        outs = outcomes.tolist()
         history = self._history
-        mispredicts = 0
-        for part, outcome in zip(addr_parts, outs):
-            idx = part | history
-            counter = table[idx]
-            if (counter >= 2) != (outcome == 1):
-                mispredicts += 1
-            if outcome:
-                if counter < 3:
-                    table[idx] = counter + 1
-                history = ((history << 1) | 1) & hist_mask
-            else:
-                if counter > 0:
-                    table[idx] = counter - 1
-                history = (history << 1) & hist_mask
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            outc = outcomes[start:stop]
+            hist, history = vector.shifted_histories(
+                self.history_bits, outc, history
+            )
+            part = ((addresses[start:stop] >> 2) & addr_mask) << self.history_bits
+            delta = (2 * outc - 1).astype(np.int8)
+            pre = vector.counter_scan(part | hist, delta, table, 0, 3)
+            np.not_equal(pre >= 2, outc == 1, out=mis[start:stop])
+        self._table = table.tolist()
         self._history = history
-        return mispredicts
+        return mis
 
 
 def gas_family() -> list[GAsPredictor]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -46,26 +47,26 @@ class GsharePredictor(BranchPredictor):
         self._history = ((self._history << 1) | outcome) & ((1 << self.history_bits) - 1)
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        table = self._table
-        mask = self.entries - 1
-        hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
-        outs = outcomes.tolist()
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        # Index math is shared with predict_and_update (pc unmasked);
+        # the old fused loop truncated the pc to 31 bits and silently
+        # diverged from the scalar path on high addresses.
+        table = np.array(self._table, dtype=np.int8)
+        index_mask = self.entries - 1
         history = self._history
-        mispredicts = 0
-        for pc, outcome in zip(pcs, outs):
-            idx = (pc ^ history) & mask
-            counter = table[idx]
-            if (counter >= 2) != (outcome == 1):
-                mispredicts += 1
-            if outcome:
-                if counter < 3:
-                    table[idx] = counter + 1
-                history = ((history << 1) | 1) & hist_mask
-            else:
-                if counter > 0:
-                    table[idx] = counter - 1
-                history = (history << 1) & hist_mask
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            outc = outcomes[start:stop]
+            hist, history = vector.shifted_histories(
+                self.history_bits, outc, history
+            )
+            idx = ((addresses[start:stop] >> 2) ^ hist) & index_mask
+            delta = (2 * outc - 1).astype(np.int8)
+            pre = vector.counter_scan(idx, delta, table, 0, 3)
+            np.not_equal(pre >= 2, outc == 1, out=mis[start:stop])
+        self._table = table.tolist()
         self._history = history
-        return mispredicts
+        return mis

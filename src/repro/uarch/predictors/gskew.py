@@ -80,18 +80,20 @@ class GskewPredictor(BranchPredictor):
         return correct
 
     def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
+        # Bulk path for the vector engine (no array formulation exists
+        # for the majority vote's partial update yet).  Indices come
+        # from the same _skew_hashes as predict_and_update: an earlier
+        # version inlined the hashes over a 31-bit-truncated pc and
+        # silently diverged from the scalar path on high addresses.
         mask = self.entries_per_bank - 1
         bank0, bank1, bank2 = self._banks
         hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
+        pcs = (addresses >> 2).tolist()
         outs = outcomes.tolist()
         history = self._history
         mispredicts = 0
         for pc, outcome in zip(pcs, outs):
-            x = pc ^ history
-            h1 = x & mask
-            h2 = (x ^ (x >> 3) ^ (pc << 1)) & mask
-            h3 = (x ^ (x >> 5) ^ (history << 2) ^ (pc >> 1)) & mask
+            h1, h2, h3 = _skew_hashes(pc, history, mask)
             c0 = bank0[h1]
             c1 = bank1[h2]
             c2 = bank2[h3]

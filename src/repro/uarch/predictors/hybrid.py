@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -92,48 +93,53 @@ class HybridPredictor(BranchPredictor):
         self._history = ((self._history << 1) | outcome) & ((1 << self.history_bits) - 1)
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        bimodal = self._bimodal
-        glob = self._global
-        chooser = self._chooser
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        bimodal = np.array(self._bimodal, dtype=np.int8)
+        glob = np.array(self._global, dtype=np.int8)
+        chooser = np.array(self._chooser, dtype=np.int8)
         bi_mask = self.bimodal_entries - 1
         gl_mask = self.global_entries - 1
         ch_mask = self.chooser_entries - 1
-        hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
-        outs = outcomes.tolist()
         history = self._history
-        mispredicts = 0
-        for pc, outcome in zip(pcs, outs):
-            bi_idx = pc & bi_mask
-            gl_idx = (pc ^ history) & gl_mask
-            ch_idx = pc & ch_mask
-            bi_counter = bimodal[bi_idx]
-            gl_counter = glob[gl_idx]
-            bi_pred = bi_counter >= 2
-            gl_pred = gl_counter >= 2
-            taken = outcome == 1
-            prediction = gl_pred if chooser[ch_idx] >= 2 else bi_pred
-            if prediction != taken:
-                mispredicts += 1
-            if bi_pred != gl_pred:
-                ch_counter = chooser[ch_idx]
-                if gl_pred == taken:
-                    if ch_counter < 3:
-                        chooser[ch_idx] = ch_counter + 1
-                elif ch_counter > 0:
-                    chooser[ch_idx] = ch_counter - 1
-            if taken:
-                if bi_counter < 3:
-                    bimodal[bi_idx] = bi_counter + 1
-                if gl_counter < 3:
-                    glob[gl_idx] = gl_counter + 1
-                history = ((history << 1) | 1) & hist_mask
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            pcs = addresses[start:stop] >> 2
+            outc = outcomes[start:stop]
+            taken = outc == 1
+            hist, history = vector.shifted_histories(
+                self.history_bits, outc, history
+            )
+            delta = (2 * outc - 1).astype(np.int8)
+            bi_idx = pcs & bi_mask
+            bi_groups = vector.IndexGroups(bi_idx, self.bimodal_entries)
+            bi_pre = vector.counter_scan(bi_idx, delta, bimodal, 0, 3, bi_groups)
+            gl_pre = vector.counter_scan(
+                (pcs ^ hist) & gl_mask, delta, glob, 0, 3
+            )
+            bi_pred = bi_pre >= 2
+            gl_pred = gl_pre >= 2
+            # The chooser trains only when the components disagree; its
+            # pc index equals the bimodal one whenever the geometries
+            # match, so the sorted grouping is reused.
+            ch_delta = np.where(
+                bi_pred != gl_pred,
+                np.where(gl_pred == taken, 1, -1),
+                0,
+            ).astype(np.int8)
+            if ch_mask == bi_mask:
+                ch_idx, ch_groups = bi_idx, bi_groups
             else:
-                if bi_counter > 0:
-                    bimodal[bi_idx] = bi_counter - 1
-                if gl_counter > 0:
-                    glob[gl_idx] = gl_counter - 1
-                history = (history << 1) & hist_mask
+                ch_idx, ch_groups = pcs & ch_mask, None
+            ch_pre = vector.counter_scan(
+                ch_idx, ch_delta, chooser, 0, 3, ch_groups
+            )
+            prediction = np.where(ch_pre >= 2, gl_pred, bi_pred)
+            np.not_equal(prediction, taken, out=mis[start:stop])
+        self._bimodal = bimodal.tolist()
+        self._global = glob.tolist()
+        self._chooser = chooser.tolist()
         self._history = history
-        return mispredicts
+        return mis

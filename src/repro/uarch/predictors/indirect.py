@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.program.behavior import update_target_history
+from repro.program.behavior import TARGET_HISTORY_MASK, update_target_history
+from repro.uarch import vector
 from repro.uarch.predictors.base import require_power_of_two
 
 
@@ -47,29 +48,43 @@ class LastTargetPredictor:
         return predicted == target
 
     def simulate(
-        self, addresses: np.ndarray, targets: np.ndarray, warmup: int = 0
+        self,
+        addresses: np.ndarray,
+        targets: np.ndarray,
+        warmup: int = 0,
+        engine: str = "vector",
     ) -> int:
         """Count target mispredictions over a bound trace.
 
         Events with ``target < 0`` (conditional branches) are skipped;
-        events before *warmup* train but are not counted.
+        events before *warmup* train but are not counted.  *engine*
+        selects the implementation (last-value kernel or the per-event
+        :meth:`predict_and_update` oracle loop), never the count.
         """
         if warmup < 0:
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        vector.require_engine(engine)
         self.reset()
-        table = self._table
-        mask = self.entries - 1
-        pcs = (addresses >> 2).tolist()
-        tgts = targets.tolist()
-        mispredicts = 0
-        for i, (pc, target) in enumerate(zip(pcs, tgts)):
-            if target < 0:
-                continue
-            idx = pc & mask
-            if table[idx] != target and i >= warmup:
-                mispredicts += 1
-            table[idx] = target
-        return mispredicts
+        if engine == "scalar":
+            predict = self.predict_and_update
+            mispredicts = 0
+            for i, (pc, target) in enumerate(
+                zip(addresses.tolist(), targets.tolist())
+            ):
+                if target >= 0 and not predict(pc, target) and i >= warmup:
+                    mispredicts += 1
+            return mispredicts
+        table = np.array(self._table, dtype=np.int64)
+        events = np.nonzero(targets >= 0)[0]
+        idx = (addresses[events] >> 2) & (self.entries - 1)
+        tgt = targets[events]
+        n = int(events.size)
+        mis = np.zeros(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            prev = vector.last_value_scan(idx[start:stop], tgt[start:stop], table)
+            np.not_equal(prev, tgt[start:stop], out=mis[start:stop])
+        self._table = table.tolist()
+        return int(np.count_nonzero(mis & (events >= warmup)))
 
 
 class IttageLitePredictor:
@@ -112,31 +127,53 @@ class IttageLitePredictor:
         return correct
 
     def simulate(
-        self, addresses: np.ndarray, targets: np.ndarray, warmup: int = 0
+        self,
+        addresses: np.ndarray,
+        targets: np.ndarray,
+        warmup: int = 0,
+        engine: str = "vector",
     ) -> int:
         """Count target mispredictions over a bound trace."""
         if warmup < 0:
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        vector.require_engine(engine)
         self.reset()
-        history_table = self._history_table
-        base_table = self._base_table
-        hist_mask = self.entries - 1
-        base_mask = self.base_entries - 1
-        pcs = (addresses >> 2).tolist()
-        tgts = targets.tolist()
-        target_history = 0
-        mispredicts = 0
-        for i, (pc, target) in enumerate(zip(pcs, tgts)):
-            if target < 0:
-                continue
-            hist_idx = (pc ^ target_history) & hist_mask
-            predicted = history_table[hist_idx]
-            if predicted < 0:
-                predicted = base_table[pc & base_mask]
-            if predicted != target and i >= warmup:
-                mispredicts += 1
-            history_table[hist_idx] = target
-            base_table[pc & base_mask] = target
-            target_history = update_target_history(target_history, target)
+        if engine == "scalar":
+            predict = self.predict_and_update
+            mispredicts = 0
+            for i, (pc, target) in enumerate(
+                zip(addresses.tolist(), targets.tolist())
+            ):
+                if target >= 0 and not predict(pc, target) and i >= warmup:
+                    mispredicts += 1
+            return mispredicts
+        history_table = np.array(self._history_table, dtype=np.int64)
+        base_table = np.array(self._base_table, dtype=np.int64)
+        events = np.nonzero(targets >= 0)[0]
+        pcs = addresses[events] >> 2
+        tgt = targets[events]
+        target_history = self._target_history
+        history_bits = TARGET_HISTORY_MASK.bit_length()
+        n = int(events.size)
+        mis = np.zeros(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            chunk_tgt = tgt[start:stop]
+            hist, target_history = vector.shifted_histories(
+                history_bits, chunk_tgt & 7, target_history, shift=3
+            )
+            hist_prev = vector.last_value_scan(
+                (pcs[start:stop] ^ hist) & (self.entries - 1),
+                chunk_tgt,
+                history_table,
+            )
+            base_prev = vector.last_value_scan(
+                pcs[start:stop] & (self.base_entries - 1),
+                chunk_tgt,
+                base_table,
+            )
+            predicted = np.where(hist_prev >= 0, hist_prev, base_prev)
+            np.not_equal(predicted, chunk_tgt, out=mis[start:stop])
+        self._history_table = history_table.tolist()
+        self._base_table = base_table.tolist()
         self._target_history = target_history
-        return mispredicts
+        return int(np.count_nonzero(mis & (events >= warmup)))

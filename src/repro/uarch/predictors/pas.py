@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -62,29 +63,24 @@ class PAsPredictor(BranchPredictor):
         self._bht[bht_idx] = ((local << 1) | outcome) & ((1 << self.history_bits) - 1)
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        bht = self._bht
-        pht = self._pht
-        hist_bits = self.history_bits
-        hist_mask = (1 << hist_bits) - 1
-        bht_idxs = ((addresses >> 2) & (self.bht_entries - 1)).tolist()
-        addr_parts = (
-            (((addresses >> 2) & ((1 << self.address_bits) - 1)) << hist_bits)
-        ).tolist()
-        outs = outcomes.tolist()
-        mispredicts = 0
-        for bht_idx, part, outcome in zip(bht_idxs, addr_parts, outs):
-            local = bht[bht_idx]
-            pht_idx = part | local
-            counter = pht[pht_idx]
-            if (counter >= 2) != (outcome == 1):
-                mispredicts += 1
-            if outcome:
-                if counter < 3:
-                    pht[pht_idx] = counter + 1
-                bht[bht_idx] = ((local << 1) | 1) & hist_mask
-            else:
-                if counter > 0:
-                    pht[pht_idx] = counter - 1
-                bht[bht_idx] = (local << 1) & hist_mask
-        return mispredicts
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        bht = np.array(self._bht, dtype=np.int64)
+        pht = np.array(self._pht, dtype=np.int8)
+        addr_mask = (1 << self.address_bits) - 1
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            pcs = addresses[start:stop] >> 2
+            outc = outcomes[start:stop]
+            local = vector.local_history_scan(
+                pcs & (self.bht_entries - 1), outc, bht, self.history_bits
+            )
+            pht_idx = ((pcs & addr_mask) << self.history_bits) | local
+            delta = (2 * outc - 1).astype(np.int8)
+            pre = vector.counter_scan(pht_idx, delta, pht, 0, 3)
+            np.not_equal(pre >= 2, outc == 1, out=mis[start:stop])
+        self._bht = bht.tolist()
+        self._pht = pht.tolist()
+        return mis

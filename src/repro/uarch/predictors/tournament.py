@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.uarch import vector
 from repro.uarch.predictors.base import BranchPredictor, require_power_of_two
 
 
@@ -109,51 +110,55 @@ class TournamentPredictor(BranchPredictor):
         )
         return prediction == outcome
 
-    def _run(self, addresses: np.ndarray, outcomes: np.ndarray) -> int:
-        local_history_table = self._local_history
-        local_pht = self._local_pht
-        global_pht = self._global_pht
-        chooser_table = self._chooser
+    def _vector_mispredict_mask(
+        self, addresses: np.ndarray, outcomes: np.ndarray
+    ) -> np.ndarray:
+        # Index math is shared with predict_and_update (pc unmasked);
+        # the old fused loop truncated the pc to 31 bits and silently
+        # diverged from the scalar path on high addresses.
+        local_history_table = np.array(self._local_history, dtype=np.int64)
+        local_pht = np.array(self._local_pht, dtype=np.int8)
+        global_pht = np.array(self._global_pht, dtype=np.int8)
+        chooser_table = np.array(self._chooser, dtype=np.int8)
         lh_mask = self.local_history_entries - 1
-        lp_mask = self.local_pht_entries - 1
         gl_mask = self.global_entries - 1
-        hist_mask = (1 << self.history_bits) - 1
-        pcs = ((addresses >> 2) & 0x7FFFFFFF).tolist()
-        outs = outcomes.tolist()
         history = self._history
-        mispredicts = 0
-        for pc, outcome in zip(pcs, outs):
-            lh_idx = pc & lh_mask
-            local_history = local_history_table[lh_idx]
-            local_counter = local_pht[local_history]
-            gl_idx = history & gl_mask
-            global_counter = global_pht[gl_idx]
-            local_pred = local_counter >= 4
-            global_pred = global_counter >= 2
-            taken = outcome == 1
-            prediction = global_pred if chooser_table[gl_idx] >= 2 else local_pred
-            if prediction != taken:
-                mispredicts += 1
-            if local_pred != global_pred:
-                chooser = chooser_table[gl_idx]
-                if global_pred == taken:
-                    if chooser < 3:
-                        chooser_table[gl_idx] = chooser + 1
-                elif chooser > 0:
-                    chooser_table[gl_idx] = chooser - 1
-            if taken:
-                if local_counter < 7:
-                    local_pht[local_history] = local_counter + 1
-                if global_counter < 3:
-                    global_pht[gl_idx] = global_counter + 1
-                local_history_table[lh_idx] = ((local_history << 1) | 1) & lp_mask
-                history = ((history << 1) | 1) & hist_mask
-            else:
-                if local_counter > 0:
-                    local_pht[local_history] = local_counter - 1
-                if global_counter > 0:
-                    global_pht[gl_idx] = global_counter - 1
-                local_history_table[lh_idx] = (local_history << 1) & lp_mask
-                history = (history << 1) & hist_mask
+        n = int(addresses.size)
+        mis = np.empty(n, dtype=bool)
+        for start, stop in vector.iter_chunks(n):
+            outc = outcomes[start:stop]
+            taken = outc == 1
+            delta = (2 * outc - 1).astype(np.int8)
+            local = vector.local_history_scan(
+                (addresses[start:stop] >> 2) & lh_mask,
+                outc,
+                local_history_table,
+                self.local_history_bits,
+            )
+            local_pre = vector.counter_scan(local, delta, local_pht, 0, 7)
+            hist, history = vector.shifted_histories(
+                self.history_bits, outc, history
+            )
+            # Global PHT and chooser share the history index stream, so
+            # the sorted grouping is computed once.
+            gl_idx = hist & gl_mask
+            groups = vector.IndexGroups(gl_idx, self.global_entries)
+            gl_pre = vector.counter_scan(gl_idx, delta, global_pht, 0, 3, groups)
+            local_pred = local_pre >= 4
+            global_pred = gl_pre >= 2
+            ch_delta = np.where(
+                local_pred != global_pred,
+                np.where(global_pred == taken, 1, -1),
+                0,
+            ).astype(np.int8)
+            ch_pre = vector.counter_scan(
+                gl_idx, ch_delta, chooser_table, 0, 3, groups
+            )
+            prediction = np.where(ch_pre >= 2, global_pred, local_pred)
+            np.not_equal(prediction, taken, out=mis[start:stop])
+        self._local_history = local_history_table.tolist()
+        self._local_pht = local_pht.tolist()
+        self._global_pht = global_pht.tolist()
+        self._chooser = chooser_table.tolist()
         self._history = history
-        return mispredicts
+        return mis
