@@ -37,12 +37,15 @@ from repro.core import (
 )
 from repro.errors import (
     CampaignExecutionError,
+    CampaignTimeoutError,
     CorruptCampaignError,
     ReproError,
+    ShutdownRequested,
     SuiteExecutionError,
     TransientError,
 )
 from repro.faults import FailureReport, FaultPlan, RetryPolicy
+from repro.journal import JournalEntry, JournalState, SuiteJournal
 from repro.heap import DieHardAllocator, SequentialAllocator
 from repro.machine import XeonE5440, XeonE5440Config, measure_executable
 from repro.machine.counters import Counter
@@ -91,6 +94,7 @@ __all__ = [
     "CampaignKey",
     "CampaignProvenance",
     "CampaignStore",
+    "CampaignTimeoutError",
     "ConflictAvoidingPlacer",
     "CorruptCampaignError",
     "Counter",
@@ -103,6 +107,8 @@ __all__ = [
     "GskewPredictor",
     "HybridPredictor",
     "Interferometer",
+    "JournalEntry",
+    "JournalState",
     "LTagePredictor",
     "LinearityStudy",
     "MaseSimulator",
@@ -116,7 +122,9 @@ __all__ = [
     "RetryPolicy",
     "SampleEscalation",
     "SequentialAllocator",
+    "ShutdownRequested",
     "SuiteExecutionError",
+    "SuiteJournal",
     "TagePredictor",
     "TransientError",
     "XeonE5440",

@@ -16,6 +16,7 @@ import sys
 from typing import Callable
 
 from repro import faults, telemetry
+from repro.core.supervise import ShutdownHandler
 from repro.errors import (
     CampaignExecutionError,
     ConfigurationError,
@@ -105,10 +106,14 @@ EXIT_USAGE = 2
 _EPILOG = """\
 exit codes:
   0  success — every requested experiment completed (possibly after
-     transparent retries or parallel->serial degradation; a recovery
-     report is printed whenever anything had to be retried)
+     transparent retries, deadline-killed-and-retried campaigns, or
+     parallel->serial degradation; a recovery report is printed
+     whenever anything had to be retried)
   1  partial failure — some campaigns or experiments failed after
-     exhausting their retry budget; a failure report names each one
+     exhausting their retry budget, or a graceful shutdown
+     (SIGINT/SIGTERM) drained the run early; completed campaigns are
+     kept and journaled, and '--resume' measures exactly the missing
+     slices (a second signal aborts the drain immediately)
   2  configuration or usage error (unknown experiment, bad flag value,
      invalid fault plan, ...)
 """
@@ -176,11 +181,26 @@ def main(argv: list[str] | None = None) -> int:
         "completing the rest and reporting (exit code 1 either way)",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-campaign execution deadline: a campaign (pool worker or "
+        "serial alike) that exceeds it is killed, recorded as timed out, "
+        "and re-run under the retry budget — bit-identical on recovery",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the suite journal in --cache-dir from an interrupted "
+        "run and measure only the missing campaign slices",
+    )
+    parser.add_argument(
         "--fault-plan",
         metavar="SPEC",
         default=None,
         help="inject deterministic faults for testing: a canned profile "
-        "('flaky', 'chaos') or 'field=value,...' pairs, e.g. "
+        "('flaky', 'chaos', 'hung') or 'field=value,...' pairs, e.g. "
         "'seed=7,flaky_read=0.1,torn_write=0.05' "
         "(overrides $REPRO_FAULT_PLAN; 'none' disables)",
     )
@@ -226,6 +246,12 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
+    if args.deadline is not None and args.deadline <= 0:
+        print(
+            f"error: --deadline must be > 0 seconds, got {args.deadline}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     plan_installed = False
     if args.fault_plan is not None:
         try:
@@ -236,24 +262,37 @@ def main(argv: list[str] | None = None) -> int:
         plan_installed = True
 
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.resume and cache_dir is None:
+        print(
+            "error: --resume requires --cache-dir (or $REPRO_CACHE_DIR): "
+            "the suite journal and campaign store live there",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     try:
-        if (
-            args.scale
-            or cache_dir
-            or args.workers
-            or args.max_retries is not None
-            or args.fail_fast
-        ):
-            lab = Laboratory(
-                scale=SCALES[args.scale] if args.scale else None,
-                cache_dir=cache_dir,
-                workers=args.workers,
-                max_retries=args.max_retries,
-                fail_fast=args.fail_fast,
-            )
-        else:
-            lab = get_lab()
-        return _run(lab, names, args)
+        with ShutdownHandler() as shutdown:
+            if (
+                args.scale
+                or cache_dir
+                or args.workers
+                or args.max_retries is not None
+                or args.fail_fast
+                or args.deadline is not None
+            ):
+                lab = Laboratory(
+                    scale=SCALES[args.scale] if args.scale else None,
+                    cache_dir=cache_dir,
+                    workers=args.workers,
+                    max_retries=args.max_retries,
+                    fail_fast=args.fail_fast,
+                    deadline_seconds=args.deadline,
+                    resume=args.resume,
+                    shutdown=shutdown,
+                )
+            else:
+                lab = get_lab()
+                lab.shutdown = shutdown
+            return _run(lab, names, args, shutdown)
     except SuiteExecutionError as exc:
         # fail-fast path: a suite prefetch gave up mid-flight.
         print(f"error: {exc}", file=sys.stderr)
@@ -273,13 +312,23 @@ def main(argv: list[str] | None = None) -> int:
             faults.clear()
 
 
-def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
+def _run(
+    lab: Laboratory,
+    names: list[str],
+    args: argparse.Namespace,
+    shutdown: ShutdownHandler | None = None,
+) -> int:
     """Drive the selected experiments through a configured laboratory."""
     lab.on_campaign = lambda record: print(f"  {record.render()}", flush=True)
     print(f"scale: {lab.scale.name} ({lab.scale.n_layouts} layouts, "
           f"{lab.scale.trace_events} trace events)")
     if lab.store is not None:
         print(f"campaign store: {lab.store.root}")
+    if lab.resumed is not None:
+        print(f"resuming: {lab.resumed.summary()}")
+        for benchmark, heap in lab.resumed.interrupted_campaigns:
+            kind = " (heap)" if heap else ""
+            print(f"  interrupted mid-slice: {benchmark}{kind}")
 
     if args.workers > 0:
         code_names, heap_names = _campaigns_needed(names)
@@ -290,6 +339,8 @@ def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
 
     failed_experiments: list[str] = []
     for name in names:
+        if shutdown is not None and shutdown.requested:
+            break  # draining: finish nothing new, keep what completed
         start = telemetry.tick_seconds()
         try:
             result = EXPERIMENTS[name](lab)
@@ -310,6 +361,15 @@ def _run(lab: Laboratory, names: list[str], args: argparse.Namespace) -> int:
     _print_summary(lab)
     if lab.failure_report:
         print("\n" + lab.failure_report.render())
+
+    if shutdown is not None and shutdown.requested:
+        print(
+            f"\ngraceful shutdown ({shutdown.signal_name}): in-flight "
+            "campaigns drained and journaled; rerun with --resume to "
+            "measure exactly the missing slices",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
 
     if args.export:
         from repro.harness.export import export_experiments

@@ -36,15 +36,22 @@ from repro.core.latency import (
 from repro.core.park import MachinePark
 from repro.core.model import PerformanceModel, PredictionResult
 from repro.core.observations import Observation, ObservationSet
+from repro.core.supervise import (
+    CircuitBreaker,
+    ShutdownHandler,
+    run_with_deadline,
+)
 
 __all__ = [
     "AdjustedOutcome",
     "BlameAnalysis",
     "BlameReport",
     "CacheInterferometryResult",
+    "CircuitBreaker",
     "EscalationResult",
     "Interferometer",
     "MachinePark",
+    "ShutdownHandler",
     "Observation",
     "ObservationSet",
     "PerformanceModel",
@@ -57,5 +64,6 @@ __all__ = [
     "latency_adjusted_ranking",
     "layout_seed",
     "run_cache_interferometry",
+    "run_with_deadline",
     "storage_latency_model",
 ]

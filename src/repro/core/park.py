@@ -18,9 +18,11 @@ the identical pure function, so recovered results stay bit-identical.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -28,13 +30,21 @@ from typing import Mapping, Sequence
 from repro import faults
 from repro.core.interferometer import Interferometer
 from repro.core.observations import Observation, ObservationSet
+from repro.core.supervise import (
+    DEFAULT_BREAKER_THRESHOLD,
+    CircuitBreaker,
+    ShutdownHandler,
+    run_with_deadline,
+)
 from repro.errors import (
+    CampaignTimeoutError,
     ConfigurationError,
     SuiteExecutionError,
     TransientError,
     WorkerCrashError,
 )
 from repro.faults import FailureReport, FaultPlan, RetryPolicy
+from repro.journal import SuiteJournal
 from repro.machine.config import XeonE5440Config
 from repro.machine.system import XeonE5440
 from repro.rng import derive_seed
@@ -78,6 +88,11 @@ def _run_campaign(spec: _CampaignSpec) -> list[Observation]:
                 f"injected crash measuring {spec.benchmark_name!r} "
                 "in a pool worker"
             )
+        if plan is not None and plan.hangs_worker(spec.benchmark_name):
+            # Unlike crash injection this fires in ANY process: the
+            # serial watchdog path must observe hangs too, not just the
+            # pool supervisor's future.result(timeout=...).
+            faults.hang(plan.hang_seconds)
         machine = XeonE5440(config=spec.machine_config, seed=spec.machine_seed)
         interferometer = Interferometer(
             machine,
@@ -167,6 +182,10 @@ class MachinePark:
         retry_policy: RetryPolicy | None = None,
         report: FailureReport | None = None,
         fail_fast: bool = False,
+        deadline_seconds: float | None = None,
+        journal: SuiteJournal | None = None,
+        shutdown: ShutdownHandler | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
     ) -> Mapping[str, ObservationSet]:
         """Run full campaigns for several benchmarks across the park.
 
@@ -193,6 +212,27 @@ class MachinePark:
         full :class:`~repro.faults.FailureReport` — after every other
         campaign has been given its chance.  ``fail_fast`` aborts at
         the first exhausted campaign instead.
+
+        Supervision:
+
+        * ``deadline_seconds`` (default: the policy's) bounds each
+          campaign execution.  A pool worker that exceeds it is killed
+          (``future.result(timeout=...)``); serially the campaign runs
+          under a monotonic-clock watchdog.  Either way the expiry is
+          recorded as a ``timed_out`` incident and the campaign re-runs
+          under the same retry budget, bit-identically on recovery.
+        * Pool failures (broken pool, deadline expiry, worker crash)
+          feed a :class:`~repro.core.supervise.CircuitBreaker`; after
+          ``breaker_threshold`` consecutive failures the suite stops
+          re-creating pools and the remainder degrades to supervised
+          serial execution, recorded via
+          :meth:`~repro.faults.FailureReport.trip_breaker`.
+        * ``journal`` receives a ``begin`` entry before each slice and
+          a ``commit`` once it is measured, so an interrupted suite can
+          be resumed.  ``shutdown`` is polled between campaigns: once a
+          drain is requested, in-flight work completes and nothing new
+          starts (the missing campaigns are simply absent from the
+          result).
         """
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
@@ -201,8 +241,15 @@ class MachinePark:
             if retry_policy is not None
             else RetryPolicy.from_env(max_retries)
         )
+        if deadline_seconds is None:
+            deadline_seconds = policy.deadline_seconds
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
         names = [b if isinstance(b, str) else b.name for b in benchmarks]
-        duplicates = sorted({name for name in names if names.count(name) > 1})
+        counts = collections.Counter(names)
+        duplicates = sorted(name for name, count in counts.items() if count > 1)
         if duplicates:
             raise ConfigurationError(
                 f"duplicate benchmarks in suite campaign: {duplicates}; "
@@ -232,38 +279,43 @@ class MachinePark:
             if n_layouts - starts.get(name, 0) > 0
         ]
         local_report = report if report is not None else FailureReport()
-        slices: list[list[Observation] | None]
+        collected: dict[str, list[Observation]] = {}
         if workers == 0:
-            slices = [
-                self._run_supervised(spec, policy, local_report, fail_fast)
-                for spec in specs
-            ]
+            for spec in specs:
+                if shutdown is not None and shutdown.requested:
+                    break  # draining: nothing new starts
+                self._measure_one(
+                    spec, policy, local_report, fail_fast,
+                    deadline_seconds, journal, collected,
+                )
         else:
-            slices = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_campaign, spec) for spec in specs]
-                for spec, future in zip(specs, futures):
-                    try:
-                        slices.append(future.result())
-                    except (TransientError, BrokenProcessPool) as exc:
-                        # Graceful degradation: the worker died or timed
-                        # out, so this campaign re-runs serially here.
-                        local_report.record(
-                            spec.benchmark_name,
-                            "degraded",
-                            attempts=1,
-                            error=f"pool worker failed ({exc}); re-ran serially",
-                            heap=spec.randomize_heap,
-                        )
-                        slices.append(
-                            self._run_supervised(
-                                spec, policy, local_report, fail_fast
-                            )
-                        )
+            breaker = CircuitBreaker(breaker_threshold)
+            pending = list(specs)
+            while (
+                pending
+                and not breaker.tripped
+                and not (shutdown is not None and shutdown.requested)
+            ):
+                pending = self._pool_round(
+                    pending, workers, policy, local_report, fail_fast,
+                    deadline_seconds, journal, breaker, collected,
+                )
+            if breaker.tripped:
+                local_report.trip_breaker(breaker.reason)
+            for spec in pending:
+                # Breaker tripped: the remainder degrades to supervised
+                # serial execution (no more pool re-creation).
+                if shutdown is not None and shutdown.requested:
+                    break
+                self._measure_one(
+                    spec, policy, local_report, fail_fast,
+                    deadline_seconds, journal, collected,
+                )
         results: dict[str, ObservationSet] = {}
-        for spec, observations in zip(specs, slices):
+        for spec in specs:
+            observations = collected.get(spec.benchmark_name)
             if observations is None:
-                continue  # failed after the full budget; in the report
+                continue  # failed, drained, or deferred; in the report
             observation_set = ObservationSet(benchmark=spec.benchmark_name)
             observation_set.extend(observations)
             results[spec.benchmark_name] = observation_set
@@ -271,28 +323,227 @@ class MachinePark:
             raise SuiteExecutionError(local_report)
         return results
 
+    # -- supervised execution ------------------------------------------
+
+    @staticmethod
+    def _journal_begin(journal: SuiteJournal | None, spec: _CampaignSpec) -> None:
+        if journal is not None:
+            journal.record_begin(
+                spec.benchmark_name,
+                spec.randomize_heap,
+                spec.start_index,
+                spec.start_index + spec.n_layouts,
+            )
+
+    @staticmethod
+    def _journal_commit(journal: SuiteJournal | None, spec: _CampaignSpec) -> None:
+        if journal is not None:
+            journal.record_commit(
+                spec.benchmark_name,
+                spec.randomize_heap,
+                spec.start_index + spec.n_layouts,
+            )
+
+    def _measure_one(
+        self,
+        spec: _CampaignSpec,
+        policy: RetryPolicy,
+        report: FailureReport,
+        fail_fast: bool,
+        deadline_seconds: float | None,
+        journal: SuiteJournal | None,
+        collected: dict[str, list[Observation]],
+    ) -> None:
+        """Journal, supervise, and collect one campaign serially."""
+        self._journal_begin(journal, spec)
+        self._recover_serially(
+            spec, policy, report, fail_fast, deadline_seconds, journal,
+            collected,
+        )
+
+    def _recover_serially(
+        self,
+        spec: _CampaignSpec,
+        policy: RetryPolicy,
+        report: FailureReport,
+        fail_fast: bool,
+        deadline_seconds: float | None,
+        journal: SuiteJournal | None,
+        collected: dict[str, list[Observation]],
+    ) -> None:
+        """Run one already-begun campaign in-process; commit on success."""
+        observations = self._run_supervised(
+            spec, policy, report, fail_fast,
+            deadline_seconds=deadline_seconds,
+        )
+        if observations is not None:
+            collected[spec.benchmark_name] = observations
+            self._journal_commit(journal, spec)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool sheltering a hung worker.
+
+        A plain ``shutdown()`` would join the hung worker and inherit
+        its hang, so the worker processes are killed first; the
+        executor's management machinery then observes the breakage and
+        resolves any remaining futures as broken or cancelled.
+        """
+        # _processes is private, but the executor exposes no supported
+        # way to kill (rather than join) its workers.
+        for process in list((pool._processes or {}).values()):
+            process.kill()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _pool_round(
+        self,
+        pending: list[_CampaignSpec],
+        workers: int,
+        policy: RetryPolicy,
+        report: FailureReport,
+        fail_fast: bool,
+        deadline_seconds: float | None,
+        journal: SuiteJournal | None,
+        breaker: CircuitBreaker,
+        collected: dict[str, list[Observation]],
+    ) -> list[_CampaignSpec]:
+        """One pool generation: submit all pending campaigns, harvest.
+
+        Returns the specs deferred to the next round — campaigns queued
+        behind a killed or broken pool that never got to run.  The
+        *offender* of a pool failure is re-run serially within the
+        round, so its campaign recovers under the retry budget
+        immediately; innocent bystanders keep their parallelism in the
+        next pool generation (until the breaker trips).
+        """
+        deferred: list[_CampaignSpec] = []
+        pool_dead = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            for spec in pending:
+                self._journal_begin(journal, spec)
+            futures = [
+                (spec, pool.submit(_run_campaign, spec)) for spec in pending
+            ]
+            for spec, future in futures:
+                if pool_dead:
+                    # The pool died earlier this round.  Salvage results
+                    # that finished before the failure; defer the rest.
+                    # (A result racing the breakage may be deferred and
+                    # re-measured — purity makes that merely redundant.)
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        collected[spec.benchmark_name] = future.result()
+                        self._journal_commit(journal, spec)
+                    else:
+                        deferred.append(spec)
+                    continue
+                try:
+                    result = future.result(timeout=deadline_seconds)
+                except FutureTimeoutError:
+                    breaker.record_failure(
+                        f"deadline expiry on {spec.benchmark_name}"
+                    )
+                    report.record(
+                        spec.benchmark_name,
+                        "timed_out",
+                        attempts=1,
+                        error=(
+                            f"pool worker exceeded the {deadline_seconds:g}s "
+                            "deadline; pool killed, campaign re-run serially"
+                        ),
+                        heap=spec.randomize_heap,
+                    )
+                    self._kill_pool(pool)
+                    pool_dead = True
+                    self._recover_serially(
+                        spec, policy, report, fail_fast, deadline_seconds,
+                        journal, collected,
+                    )
+                except BrokenProcessPool as exc:
+                    breaker.record_failure(
+                        f"broken pool on {spec.benchmark_name}"
+                    )
+                    report.record(
+                        spec.benchmark_name,
+                        "degraded",
+                        attempts=1,
+                        error=f"pool worker failed ({exc}); re-ran serially",
+                        heap=spec.randomize_heap,
+                    )
+                    pool_dead = True
+                    self._recover_serially(
+                        spec, policy, report, fail_fast, deadline_seconds,
+                        journal, collected,
+                    )
+                except TransientError as exc:
+                    # The worker raised (soft crash): the pool itself is
+                    # healthy, only this campaign degrades to serial.
+                    breaker.record_failure(
+                        f"worker crash on {spec.benchmark_name}"
+                    )
+                    report.record(
+                        spec.benchmark_name,
+                        "degraded",
+                        attempts=1,
+                        error=f"pool worker failed ({exc}); re-ran serially",
+                        heap=spec.randomize_heap,
+                    )
+                    self._recover_serially(
+                        spec, policy, report, fail_fast, deadline_seconds,
+                        journal, collected,
+                    )
+                else:
+                    breaker.record_success()
+                    collected[spec.benchmark_name] = result
+                    self._journal_commit(journal, spec)
+        finally:
+            pool.shutdown(wait=not pool_dead)
+        return deferred
+
     def _run_supervised(
         self,
         spec: _CampaignSpec,
         policy: RetryPolicy,
         report: FailureReport,
         fail_fast: bool,
+        deadline_seconds: float | None = None,
     ) -> list[Observation] | None:
         """One campaign with the retry budget, in this process.
 
-        Returns the measured slice, or ``None`` when the budget is
-        exhausted (the failure is recorded in *report*; with
-        ``fail_fast`` it raises immediately instead).
+        With a deadline, each execution runs under the
+        :func:`~repro.core.supervise.run_with_deadline` watchdog; an
+        expiry is recorded as a ``timed_out`` incident and consumes one
+        retry like any other transient failure.  Returns the measured
+        slice, or ``None`` when the budget is exhausted (the failure is
+        recorded in *report*; with ``fail_fast`` it raises immediately
+        instead).
         """
         attempts = 0
+        slept = 0.0
         last_error: TransientError | None = None
         while True:
             try:
-                result = _run_campaign(spec)
+                result = run_with_deadline(
+                    lambda: _run_campaign(spec),
+                    deadline_seconds,
+                    describe=spec.benchmark_name,
+                )
                 break
             except TransientError as exc:
                 attempts += 1
                 last_error = exc
+                if isinstance(exc, CampaignTimeoutError):
+                    report.record(
+                        spec.benchmark_name,
+                        "timed_out",
+                        attempts=attempts,
+                        error=str(exc),
+                        heap=spec.randomize_heap,
+                    )
                 if attempts > policy.max_retries:
                     report.record(
                         spec.benchmark_name,
@@ -304,7 +555,11 @@ class MachinePark:
                     if fail_fast:
                         raise SuiteExecutionError(report) from exc
                     return None
-                policy.sleep(attempts - 1)
+                slept += policy.sleep(
+                    attempts - 1,
+                    key=spec.benchmark_name,
+                    already_slept=slept,
+                )
         if attempts:
             report.record(
                 spec.benchmark_name,

@@ -55,6 +55,43 @@ class WorkerCrashError(TransientError):
     """A campaign worker process died mid-measurement."""
 
 
+class CampaignTimeoutError(TransientError):
+    """A campaign exceeded its deadline and was killed by the supervisor.
+
+    Raised by the deadline watchdog (serial path) or the pool
+    supervisor (``future.result(timeout=...)``).  Transient: the hung
+    execution is abandoned and the campaign re-runs under the normal
+    retry budget, reproducing the exact bits a hang-free run would
+    have produced.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        benchmark: str | None = None,
+        deadline_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.deadline_seconds = deadline_seconds
+
+
+class ShutdownRequested(ReproError):
+    """A graceful-shutdown signal arrived and the suite is draining.
+
+    Raised by :meth:`repro.core.supervise.ShutdownHandler.check` at
+    safe points between campaigns; the supervisor flushes the journal,
+    keeps every completed result, and exits with the documented
+    partial-results code.  A ``--resume`` rerun measures exactly the
+    missing slices.
+    """
+
+    def __init__(self, message: str, *, signal_name: str | None = None) -> None:
+        super().__init__(message)
+        self.signal_name = signal_name
+
+
 class CorruptCampaignError(ReproError):
     """A persisted campaign file failed integrity checks.
 

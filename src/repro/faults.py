@@ -62,6 +62,7 @@ CANNED_PLANS: dict[str, str] = {
         "seed=0xC405,flaky_read=0.10,garbled_read=0.05,stalled_read=0.02,"
         "torn_write=0.10,worker_crash=0.25"
     ),
+    "hung": "seed=0x4A46,worker_hang=0.30,hang_seconds=20",
 }
 
 _RATE_FIELDS = (
@@ -70,6 +71,7 @@ _RATE_FIELDS = (
     "stalled_read",
     "torn_write",
     "worker_crash",
+    "worker_hang",
 )
 
 
@@ -99,9 +101,20 @@ class FaultPlan:
         worker process.  Not occurrence-keyed: under one plan a
         benchmark either always or never crashes in the pool, which
         keeps the parallel→serial degradation path deterministic.
+    worker_hang:
+        Probability a benchmark's campaign hangs — blocks without
+        returning — wherever it executes (pool worker *or* the serial
+        supervised path).  Occurrence-keyed, unlike ``worker_crash``:
+        from the supervisor's vantage a hang is transient (the retry
+        runs on a fresh worker), so a killed-and-retried campaign draws
+        a fresh decision.
     crash_benchmarks:
         Benchmarks whose pool-worker campaigns always crash (test hook
         for "exactly this worker dies").
+    hang_benchmarks:
+        Benchmarks whose campaign hangs on its *first* execution in
+        each process (test hook for "exactly this campaign hangs, then
+        recovers when the supervisor kills and retries it").
     hard_crash:
         Crash via ``os._exit`` (killing the worker process, so the pool
         breaks) instead of raising
@@ -111,6 +124,13 @@ class FaultPlan:
     stall_seconds:
         Real wall-clock stall before a stalled read times out (0 keeps
         tests fast; the timeout is raised either way).
+    hang_seconds:
+        How long an injected hang blocks before giving up and resuming
+        normally.  A stand-in for "forever" that keeps un-deadlined
+        runs (and abandoned watchdog threads) bounded: any deadline
+        shorter than this sees a genuine never-returning hang, while a
+        run with no deadline merely stalls and still completes with
+        bit-identical results.
     """
 
     seed: int = 0xF417
@@ -119,10 +139,13 @@ class FaultPlan:
     stalled_read: float = 0.0
     torn_write: float = 0.0
     worker_crash: float = 0.0
+    worker_hang: float = 0.0
     crash_benchmarks: tuple[str, ...] = ()
+    hang_benchmarks: tuple[str, ...] = ()
     hard_crash: bool = False
     only_benchmarks: tuple[str, ...] = ()
     stall_seconds: float = 0.0
+    hang_seconds: float = 30.0
     #: Per-process occurrence counters; deliberately excluded from
     #: comparison and pickling so workers start a fresh schedule.
     _counts: dict = field(default_factory=dict, repr=False, compare=False)
@@ -137,6 +160,10 @@ class FaultPlan:
         if self.stall_seconds < 0:
             raise ConfigurationError(
                 f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        if self.hang_seconds < 0:
+            raise ConfigurationError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
             )
 
     def __getstate__(self) -> dict:
@@ -199,6 +226,24 @@ class FaultPlan:
         digest = derive_seed(self.seed, f"worker/{benchmark}")
         return (digest % _RESOLUTION) < self.worker_crash * _RESOLUTION
 
+    def hangs_worker(self, benchmark: str) -> bool:
+        """Whether this campaign execution hangs (this time).
+
+        Unlike :meth:`crashes_worker` the decision is occurrence-keyed:
+        a hang looks transient to the supervisor (the killed campaign
+        retries on a fresh worker), so each execution draws afresh.
+        Forced ``hang_benchmarks`` hang exactly once per process —
+        enough to exercise the watchdog while letting the retried
+        attempt recover.
+        """
+        if not self.applies_to(benchmark):
+            return False
+        if benchmark in self.hang_benchmarks:
+            n = self._counts.get(("worker/hang-forced", benchmark), 0)
+            self._counts[("worker/hang-forced", benchmark)] = n + 1
+            return n == 0
+        return self._decide("worker/hang", benchmark, self.worker_hang)
+
     # ------------------------------------------------------------------
     # Parsing
     # ------------------------------------------------------------------
@@ -231,14 +276,19 @@ class FaultPlan:
             if name == "hard_crash":
                 kwargs[name] = value.lower() in ("1", "true", "yes", "on")
                 continue
-            if name in ("crash_benchmarks", "only_benchmarks"):
+            if name in ("crash_benchmarks", "hang_benchmarks", "only_benchmarks"):
                 kwargs[name] = tuple(v for v in value.split("+") if v)
                 continue
-            if name != "seed" and name not in _RATE_FIELDS and name != "stall_seconds":
+            if (
+                name != "seed"
+                and name not in _RATE_FIELDS
+                and name not in ("stall_seconds", "hang_seconds")
+            ):
                 raise ConfigurationError(
                     f"unknown fault plan field {name!r}; known fields: "
                     f"seed, {', '.join(_RATE_FIELDS)}, stall_seconds, "
-                    f"hard_crash, crash_benchmarks, only_benchmarks"
+                    f"hang_seconds, hard_crash, crash_benchmarks, "
+                    f"hang_benchmarks, only_benchmarks"
                 )
             # ConfigurationError is itself a ValueError, so the numeric
             # conversions sit alone in this try to avoid re-wrapping the
@@ -316,6 +366,19 @@ def plan_scope(plan: FaultPlan | None) -> Iterator[None]:
         yield
 
 
+def hang(seconds: float) -> None:
+    """Block like a hung worker would (injection helper).
+
+    A real hang never returns; this one gives up after *seconds* (the
+    plan's ``hang_seconds``) so that runs without a deadline — and the
+    daemon watchdog threads that outlive a killed campaign — stay
+    bounded.  Any deadline shorter than *seconds* observes a genuine
+    hang: the supervisor fires first.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
+
+
 # ----------------------------------------------------------------------
 # Supervision: retry policy and the structured failure report.
 # ----------------------------------------------------------------------
@@ -340,11 +403,27 @@ def max_retries_from_env(default: int = DEFAULT_MAX_RETRIES) -> int:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Campaign-level retry budget with exponential backoff."""
+    """Campaign-level retry budget with exponential backoff.
+
+    ``deadline_seconds`` is the per-campaign execution deadline the
+    supervision layer enforces (``None`` = unbounded, the historical
+    behaviour).  ``jitter`` > 0 switches the schedule to *decorrelated*
+    backoff (each delay drawn between ``backoff_base`` and three times
+    the previous delay) — but seeded: the draw is a deterministic
+    function of ``(jitter_seed, campaign key, attempt)``, so a rerun
+    retries on the identical schedule and recovery stays reproducible.
+    ``backoff_total_cap`` bounds the *cumulative* backoff one campaign
+    may spend sleeping, so a pathological fault schedule cannot stall
+    a suite indefinitely.
+    """
 
     max_retries: int = DEFAULT_MAX_RETRIES
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    deadline_seconds: float | None = None
+    jitter: float = 0.0
+    jitter_seed: int = 0xB0FF
+    backoff_total_cap: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -353,23 +432,73 @@ class RetryPolicy:
             )
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ConfigurationError("backoff parameters must be >= 0")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.backoff_total_cap < 0:
+            raise ConfigurationError(
+                f"backoff_total_cap must be >= 0, got {self.backoff_total_cap}"
+            )
 
     @classmethod
-    def from_env(cls, max_retries: int | None = None) -> "RetryPolicy":
+    def from_env(
+        cls,
+        max_retries: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> "RetryPolicy":
         """A policy with an explicit budget, or the environment's."""
         if max_retries is None:
             max_retries = max_retries_from_env()
-        return cls(max_retries=max_retries)
+        return cls(max_retries=max_retries, deadline_seconds=deadline_seconds)
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry *attempt* (0-based): base·2^attempt, capped."""
-        return min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry *attempt* (0-based), capped.
 
-    def sleep(self, attempt: int) -> None:
-        """Sleep out the backoff for retry *attempt* (no-op at 0 delay)."""
-        delay = self.delay(attempt)
+        With ``jitter == 0`` (the default) this is the classic
+        ``base * 2^attempt``.  With jitter the schedule is decorrelated
+        backoff — ``delay_a = uniform(base, 3 * delay_{a-1})`` — where
+        the "uniform" draw is a deterministic hash of
+        ``(jitter_seed, key, attempt)`` blended in by the jitter
+        fraction, so two campaigns (different *key*) desynchronize
+        while a rerun of the same campaign reproduces its schedule.
+        """
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        if self.jitter <= 0.0:
+            return min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        delay = self.backoff_base
+        for a in range(attempt + 1):
+            digest = derive_seed(self.jitter_seed, f"backoff/{key}/{a}")
+            fraction = (digest % _RESOLUTION) / _RESOLUTION
+            spread = max(3.0 * delay - self.backoff_base, 0.0)
+            drawn = self.backoff_base + fraction * spread
+            exponential = self.backoff_base * (2.0 ** a)
+            delay = min(
+                self.backoff_cap,
+                (1.0 - self.jitter) * exponential + self.jitter * drawn,
+            )
+        return delay
+
+    def sleep(
+        self, attempt: int, key: str = "", already_slept: float = 0.0
+    ) -> float:
+        """Sleep out the backoff for retry *attempt*; returns seconds slept.
+
+        The delay is clipped so one campaign's cumulative backoff
+        (``already_slept`` plus this sleep) never exceeds
+        ``backoff_total_cap``; callers thread the running total through.
+        """
+        delay = self.delay(attempt, key)
+        budget = max(self.backoff_total_cap - already_slept, 0.0)
+        delay = min(delay, budget)
         if delay > 0:
             time.sleep(delay)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -378,7 +507,9 @@ class CampaignIncident:
 
     benchmark: str
     #: ``recovered`` (succeeded after retries), ``degraded`` (pool worker
-    #: failed; re-run serially), or ``failed`` (retry budget exhausted).
+    #: failed; re-run serially), ``timed_out`` (deadline expired; the
+    #: execution was killed and the campaign re-run under the retry
+    #: budget), or ``failed`` (retry budget exhausted).
     status: str
     attempts: int
     error: str
@@ -399,9 +530,12 @@ class FailureReport:
 
     A suite run completes and reports rather than dying on the first
     fault; ``ok`` is False only when some campaign produced no data.
+    ``breaker_tripped`` records why (and that) the worker-pool circuit
+    breaker degraded the remainder of a suite to serial execution.
     """
 
     incidents: list[CampaignIncident] = field(default_factory=list)
+    breaker_tripped: str | None = None
 
     def record(
         self,
@@ -412,7 +546,7 @@ class FailureReport:
         heap: bool = False,
     ) -> CampaignIncident:
         """Append one incident."""
-        if status not in ("recovered", "degraded", "failed"):
+        if status not in ("recovered", "degraded", "timed_out", "failed"):
             raise ConfigurationError(f"unknown incident status {status!r}")
         incident = CampaignIncident(
             benchmark=benchmark,
@@ -438,9 +572,18 @@ class FailureReport:
         return self._with_status("degraded")
 
     @property
+    def timed_out(self) -> list[CampaignIncident]:
+        """Deadline expiries (one incident per killed execution)."""
+        return self._with_status("timed_out")
+
+    @property
     def failed(self) -> list[CampaignIncident]:
         """Campaigns that produced no data despite the full budget."""
         return self._with_status("failed")
+
+    def trip_breaker(self, reason: str) -> None:
+        """Record that the worker-pool circuit breaker tripped."""
+        self.breaker_tripped = reason
 
     @property
     def ok(self) -> bool:
@@ -448,17 +591,22 @@ class FailureReport:
         return not self.failed
 
     def __bool__(self) -> bool:
-        return bool(self.incidents)
+        return bool(self.incidents) or self.breaker_tripped is not None
 
     def one_line(self) -> str:
         """Compact summary for exception messages and log lines."""
-        return (
+        summary = (
             f"{len(self.recovered)} recovered, {len(self.degraded)} degraded, "
             f"{len(self.failed)} failed"
         )
+        if self.timed_out:
+            summary += f", {len(self.timed_out)} timed out"
+        return summary
 
     def render(self) -> str:
         """Multi-line report for CLI output."""
         lines = [f"failure report: {self.one_line()}"]
+        if self.breaker_tripped is not None:
+            lines.append(f"  circuit breaker TRIPPED: {self.breaker_tripped}")
         lines.extend(f"  {incident.render()}" for incident in self.incidents)
         return "\n".join(lines)

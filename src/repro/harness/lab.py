@@ -19,13 +19,16 @@ from repro.core.interferometer import Interferometer
 from repro.core.model import PerformanceModel
 from repro.core.observations import Observation, ObservationSet
 from repro.core.park import MachinePark
+from repro.core.supervise import ShutdownHandler, run_with_deadline
 from repro.errors import (
     CampaignExecutionError,
+    CampaignTimeoutError,
     ConfigurationError,
     ModelError,
     TransientError,
 )
 from repro.faults import FailureReport, RetryPolicy
+from repro.journal import JournalState, SuiteJournal
 from repro.machine.system import XeonE5440
 from repro.store import CampaignKey, CampaignStore
 from repro.uarch.predictors.gas import gas_hybrid_family
@@ -132,6 +135,16 @@ class Laboratory:
     budget raises :class:`~repro.errors.CampaignExecutionError`.
     ``fail_fast`` aborts suite prefetches at the first such failure
     instead of continuing with the remaining campaigns.
+
+    Supervision: ``deadline_seconds`` bounds every campaign execution
+    (hung campaigns are killed, recorded as *timed_out*, and re-run
+    under the retry budget); with a ``cache_dir`` the lab keeps a
+    crash-safe :class:`~repro.journal.SuiteJournal` beside the store,
+    and ``resume=True`` replays it (into ``resumed``) so an interrupted
+    suite re-measures exactly the missing slices via the store's prefix
+    machinery.  A :class:`~repro.core.supervise.ShutdownHandler` passed
+    as ``shutdown`` is polled between campaigns: once a drain is
+    requested, in-flight campaigns finish and nothing new starts.
     """
 
     def __init__(
@@ -142,15 +155,40 @@ class Laboratory:
         workers: int = 0,
         max_retries: int | None = None,
         fail_fast: bool = False,
+        deadline_seconds: float | None = None,
+        resume: bool = False,
+        shutdown: ShutdownHandler | None = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if resume and cache_dir is None:
+            raise ConfigurationError(
+                "resume requires a cache_dir: the suite journal and the "
+                "campaign store live there"
+            )
         self.scale = scale if scale is not None else scale_from_env()
         self.machine_seed = machine_seed
         self.workers = workers
-        self.retry_policy = RetryPolicy.from_env(max_retries)
+        self.retry_policy = RetryPolicy.from_env(max_retries, deadline_seconds)
         self.fail_fast = fail_fast
+        self.shutdown = shutdown
         self.failure_report = FailureReport()
+        self.journal = (
+            None
+            if cache_dir is None
+            else SuiteJournal(Path(cache_dir) / "suite-journal.json")
+        )
+        #: Replayed journal state when resuming (None otherwise); the
+        #: store's prefix machinery remains the data truth — the journal
+        #: only reports what the interrupted run was doing.
+        self.resumed: JournalState | None = None
+        if self.journal is not None:
+            if resume:
+                self.resumed = self.journal.replay()
+            else:
+                # A fresh (non-resumed) suite starts with a clean
+                # journal; the campaign store is untouched either way.
+                self.journal.clear()
         self.machine = XeonE5440(seed=machine_seed)
         self.interferometer = Interferometer(
             self.machine, trace_events=self.scale.trace_events
@@ -198,6 +236,14 @@ class Laboratory:
         if self.on_campaign is not None:
             self.on_campaign(record)
 
+    def _journal_begin(self, name: str, heap: bool) -> None:
+        if self.journal is not None:
+            self.journal.record_begin(name, heap, 0, self.scale.n_layouts)
+
+    def _journal_commit(self, name: str, heap: bool) -> None:
+        if self.journal is not None:
+            self.journal.record_commit(name, heap, self.scale.n_layouts)
+
     def _measure_campaign(self, name: str, heap: bool) -> ObservationSet:
         """Serve one campaign under the retry budget.
 
@@ -205,17 +251,33 @@ class Laboratory:
         exponential backoff; success after retries is recorded as a
         *recovered* incident, exhaustion as a *failed* one — and raises
         :class:`~repro.errors.CampaignExecutionError` naming the
-        campaign, instead of leaking a raw traceback.
+        campaign, instead of leaking a raw traceback.  With a policy
+        deadline, every execution runs under the
+        :func:`~repro.core.supervise.run_with_deadline` watchdog; an
+        expiry is recorded as a *timed_out* incident and consumes one
+        retry.  The slice is journaled (``begin`` before, ``commit``
+        after the store save) so an interrupted suite can be resumed.
         """
         attempts = 0
+        slept = 0.0
         last_error: TransientError | None = None
+        self._journal_begin(name, heap)
         while True:
             try:
-                result = self._measure_campaign_once(name, heap)
+                result = run_with_deadline(
+                    lambda: self._measure_campaign_once(name, heap),
+                    self.retry_policy.deadline_seconds,
+                    describe=name,
+                )
                 break
             except TransientError as exc:
                 attempts += 1
                 last_error = exc
+                if isinstance(exc, CampaignTimeoutError):
+                    self.failure_report.record(
+                        name, "timed_out", attempts=attempts, error=str(exc),
+                        heap=heap,
+                    )
                 if attempts > self.retry_policy.max_retries:
                     self.failure_report.record(
                         name, "failed", attempts=attempts, error=str(exc),
@@ -227,7 +289,9 @@ class Laboratory:
                         benchmark=name,
                         attempts=attempts,
                     ) from exc
-                self.retry_policy.sleep(attempts - 1)
+                slept += self.retry_policy.sleep(
+                    attempts - 1, key=name, already_slept=slept
+                )
         if attempts:
             self.failure_report.record(
                 name,
@@ -236,6 +300,7 @@ class Laboratory:
                 error=f"transient failure(s), last: {last_error}",
                 heap=heap,
             )
+        self._journal_commit(name, heap)
         return result
 
     def _measure_campaign_once(self, name: str, heap: bool) -> ObservationSet:
@@ -323,6 +388,8 @@ class Laboratory:
             return
         if workers == 0:
             for name in to_measure:
+                if self.shutdown is not None and self.shutdown.requested:
+                    break  # draining: nothing new starts
                 try:
                     (self.heap_observations if heap else self.observations)(name)
                 except CampaignExecutionError:
@@ -347,6 +414,8 @@ class Laboratory:
             retry_policy=self.retry_policy,
             report=self.failure_report,
             fail_fast=self.fail_fast,
+            journal=self.journal,
+            shutdown=self.shutdown,
         )
         elapsed = telemetry.tick_seconds() - start
         per_campaign = elapsed / len(to_measure)

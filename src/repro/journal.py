@@ -1,0 +1,253 @@
+"""Crash-safe suite journal: a write-ahead log of campaign slices.
+
+The :class:`~repro.store.CampaignStore` makes individual campaigns
+durable, but a suite interrupted by SIGKILL loses the *shape* of the
+run: which benchmark slices were requested, which were in flight, and
+which completed.  The :class:`SuiteJournal` records exactly that — a
+``begin`` entry before a slice is measured and a ``commit`` entry once
+its observations are durable — so a resumed run
+(``repro-interferometry --resume``) can replay the journal, report what
+was interrupted, and measure exactly the missing slices.
+
+Two-layer truth model: the journal is the **intent** log, the store is
+the **data**.  A ``commit`` without a store file (the process died
+between the two writes) simply re-measures — purity makes that free of
+risk — and a corrupt journal is quarantined and treated as empty, never
+trusted.  Nothing in the journal can change measured bits; it only
+decides how much work a resumed suite repeats.
+
+Format: a single JSON envelope (format-v2 style: version + payload
+checksum, ``sort_keys`` for byte stability) rewritten atomically via
+:func:`repro.persistence.write_atomic` on every append.  A killed
+process leaves either the previous journal or the new one — never a
+torn file.  Entries carry no wall-clock timestamps: replay must be a
+pure function of what happened, not when.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.persistence import _records_checksum, write_atomic
+
+_LOG = logging.getLogger(__name__)
+
+#: Journal envelope format version (independent of the campaign store's).
+_JOURNAL_VERSION = 1
+
+_EVENTS = ("begin", "commit")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled event about a benchmark's campaign slice."""
+
+    #: ``begin`` (slice about to be measured) or ``commit`` (durable).
+    event: str
+    benchmark: str
+    heap: bool
+    #: First layout index of the slice (the already-persisted prefix).
+    start_index: int
+    #: Campaign target: layouts complete *through* this count.
+    n_layouts: int
+
+    def __post_init__(self) -> None:
+        if self.event not in _EVENTS:
+            raise ConfigurationError(
+                f"unknown journal event {self.event!r}; expected {_EVENTS}"
+            )
+        if not 0 <= self.start_index <= self.n_layouts:
+            raise ConfigurationError(
+                f"journal slice [{self.start_index}, {self.n_layouts}) "
+                f"for {self.benchmark!r} is malformed"
+            )
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the envelope payload."""
+        return {
+            "event": self.event,
+            "benchmark": self.benchmark,
+            "heap": self.heap,
+            "start_index": self.start_index,
+            "n_layouts": self.n_layouts,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "JournalEntry":
+        """Rebuild an entry from its JSON form."""
+        return cls(
+            event=str(record["event"]),
+            benchmark=str(record["benchmark"]),
+            heap=bool(record["heap"]),
+            start_index=int(record["start_index"]),
+            n_layouts=int(record["n_layouts"]),
+        )
+
+
+@dataclass
+class JournalState:
+    """The replayed outcome of a journal: who finished, who was cut off."""
+
+    #: (benchmark, heap) -> layouts durably complete through this count.
+    committed: dict = field(default_factory=dict)
+    #: (benchmark, heap) -> the slice target that was begun last.
+    begun: dict = field(default_factory=dict)
+
+    def committed_layouts(self, benchmark: str, heap: bool = False) -> int:
+        """Layouts the journal says are durable for this campaign."""
+        return self.committed.get((benchmark, heap), 0)
+
+    def interrupted(self, benchmark: str, heap: bool = False) -> bool:
+        """True when a begun slice never committed (killed mid-flight)."""
+        key = (benchmark, heap)
+        if key not in self.begun:
+            return False
+        return self.committed.get(key, 0) < self.begun[key]
+
+    @property
+    def interrupted_campaigns(self) -> list[tuple[str, bool]]:
+        """Every (benchmark, heap) cut off mid-slice, sorted."""
+        return sorted(key for key in self.begun if self.interrupted(*key))
+
+    def summary(self) -> str:
+        """One line for resume banners."""
+        done = sum(
+            1 for key, n in self.begun.items()
+            if self.committed.get(key, 0) >= n
+        )
+        return (
+            f"journal: {done} campaign(s) committed, "
+            f"{len(self.interrupted_campaigns)} interrupted mid-slice"
+        )
+
+
+class SuiteJournal:
+    """Append-only, atomically rewritten journal of suite progress.
+
+    Each mutation loads nothing (entries are kept in memory after the
+    first read), appends one :class:`JournalEntry`, and rewrites the
+    checksummed envelope with :func:`~repro.persistence.write_atomic`.
+    Suites are small (tens of slices), so whole-file rewrite is cheap
+    and buys the strongest crash property: the journal on disk is
+    always internally consistent.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: list[JournalEntry] | None = None
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> list[JournalEntry]:
+        """Entries currently on disk (corrupt journal -> quarantine, [])."""
+        if self._entries is not None:
+            return self._entries
+        self._entries = []
+        if not self.path.exists():
+            return self._entries
+        try:
+            payload = json.loads(self.path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("envelope is not a JSON object")
+            version = payload["format_version"]
+            if version != _JOURNAL_VERSION:
+                raise ValueError(f"unsupported journal version {version!r}")
+            records = payload["entries"]
+            if payload["checksum"] != _records_checksum(records):
+                raise ValueError("payload checksum mismatch")
+            self._entries = [JournalEntry.from_json(r) for r in records]
+        except (OSError, ValueError, KeyError, TypeError,
+                json.JSONDecodeError) as exc:
+            self._quarantine(str(exc))
+            self._entries = []
+        return self._entries
+
+    def _quarantine(self, reason: str) -> None:
+        """Move a corrupt journal aside; resume then re-measures more."""
+        try:
+            digest = hashlib.sha256(self.path.read_bytes()).hexdigest()[:8]
+        except OSError:
+            digest = "unreadable"
+        target = self.path.with_name(f"{self.path.name}.corrupt-{digest}")
+        try:
+            os.replace(self.path, target)
+        except OSError:
+            try:
+                self.path.unlink()
+            except OSError:
+                return
+        _LOG.warning(
+            "quarantined corrupt suite journal %s (%s); treating as empty — "
+            "the resumed run re-measures anything the journal would have "
+            "skipped",
+            self.path,
+            reason,
+        )
+
+    def _append(self, entry: JournalEntry) -> None:
+        entries = self._load()
+        entries.append(entry)
+        records = [e.to_json() for e in entries]
+        envelope = {
+            "format_version": _JOURNAL_VERSION,
+            "checksum": _records_checksum(records),
+            "entries": records,
+        }
+        write_atomic(self.path, json.dumps(envelope, indent=1, sort_keys=True))
+
+    # -- the write-ahead protocol --------------------------------------
+
+    def record_begin(
+        self, benchmark: str, heap: bool, start_index: int, n_layouts: int
+    ) -> None:
+        """A slice ``[start_index, n_layouts)`` is about to be measured."""
+        self._append(
+            JournalEntry(
+                event="begin",
+                benchmark=benchmark,
+                heap=heap,
+                start_index=start_index,
+                n_layouts=n_layouts,
+            )
+        )
+
+    def record_commit(self, benchmark: str, heap: bool, n_layouts: int) -> None:
+        """The campaign is durable through *n_layouts* layouts."""
+        self._append(
+            JournalEntry(
+                event="commit",
+                benchmark=benchmark,
+                heap=heap,
+                start_index=n_layouts,
+                n_layouts=n_layouts,
+            )
+        )
+
+    def replay(self) -> JournalState:
+        """Fold the entries into per-campaign completion state."""
+        state = JournalState()
+        for entry in self._load():
+            key = (entry.benchmark, entry.heap)
+            if entry.event == "begin":
+                state.begun[key] = max(
+                    state.begun.get(key, 0), entry.n_layouts
+                )
+            else:
+                state.committed[key] = max(
+                    state.committed.get(key, 0), entry.n_layouts
+                )
+        return state
+
+    def clear(self) -> None:
+        """Forget the journal (a fresh, non-resumed suite starts clean)."""
+        self._entries = []
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -90,7 +90,10 @@ class TestFaultPlanParsing:
         plan = FaultPlan.from_spec("flaky")
         assert plan.flaky_read == pytest.approx(0.10)
         assert FaultPlan.from_spec("chaos").worker_crash > 0
-        assert set(CANNED_PLANS) == {"flaky", "chaos"}
+        hung = FaultPlan.from_spec("hung")
+        assert hung.worker_hang > 0
+        assert hung.hang_seconds == pytest.approx(20.0)
+        assert set(CANNED_PLANS) == {"flaky", "chaos", "hung"}
 
     @pytest.mark.parametrize("spec", ["", "  ", "none", "off", "NONE"])
     def test_disabled_specs(self, spec):
@@ -106,6 +109,31 @@ class TestFaultPlanParsing:
         assert plan.hard_crash is True
         assert plan.crash_benchmarks == ("456.hmmer", "470.lbm")
         assert plan.stall_seconds == pytest.approx(0.5)
+
+    def test_hang_fields_parsed(self):
+        plan = FaultPlan.from_spec(
+            "seed=2,worker_hang=0.5,hang_benchmarks=470.lbm,hang_seconds=1.5"
+        )
+        assert plan.worker_hang == pytest.approx(0.5)
+        assert plan.hang_benchmarks == ("470.lbm",)
+        assert plan.hang_seconds == pytest.approx(1.5)
+
+    def test_forced_hang_fires_once_per_process(self):
+        plan = FaultPlan(seed=1, hang_benchmarks=("470.lbm",))
+        assert plan.hangs_worker("470.lbm")
+        assert not plan.hangs_worker("470.lbm")  # second draw: recovered
+        assert not plan.hangs_worker("456.hmmer")
+        # A pickled copy — what a pool worker inherits — draws afresh.
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.hangs_worker("470.lbm")
+
+    def test_hang_rate_is_occurrence_keyed(self):
+        plan = FaultPlan(seed=3, worker_hang=0.5)
+        draws = [plan.hangs_worker("456.hmmer") for _ in range(32)]
+        assert any(draws) and not all(draws)
+        # The same schedule replays identically in a fresh plan.
+        replay = FaultPlan(seed=3, worker_hang=0.5)
+        assert draws == [replay.hangs_worker("456.hmmer") for _ in range(32)]
 
     def test_unknown_field_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown fault plan field"):
@@ -230,6 +258,57 @@ class TestActivePlan:
         assert policy.delay(1) == pytest.approx(0.2)
         assert policy.delay(2) == pytest.approx(0.3)  # capped
         assert policy.delay(10) == pytest.approx(0.3)
+
+
+class TestSeededJitter:
+    def test_zero_jitter_preserves_legacy_schedule(self):
+        policy = RetryPolicy(max_retries=4, backoff_base=0.1, backoff_cap=0.3)
+        # The key is ignored without jitter: same exact exponential.
+        assert policy.delay(1, key="456.hmmer") == pytest.approx(0.2)
+
+    def test_jittered_schedule_is_deterministic(self):
+        a = RetryPolicy(jitter=0.5)
+        b = RetryPolicy(jitter=0.5)
+        schedule = [a.delay(i, key="456.hmmer") for i in range(5)]
+        assert schedule == [b.delay(i, key="456.hmmer") for i in range(5)]
+
+    def test_different_campaigns_desynchronize(self):
+        policy = RetryPolicy(jitter=1.0)
+        xs = [policy.delay(i, key="456.hmmer") for i in range(6)]
+        ys = [policy.delay(i, key="470.lbm") for i in range(6)]
+        assert xs != ys
+
+    def test_jittered_delays_stay_bounded(self):
+        policy = RetryPolicy(jitter=1.0, backoff_base=0.05, backoff_cap=2.0)
+        for attempt in range(12):
+            delay = policy.delay(attempt, key="456.hmmer")
+            assert policy.backoff_base <= delay <= policy.backoff_cap
+
+    def test_jitter_seed_changes_the_schedule(self):
+        a = RetryPolicy(jitter=1.0, jitter_seed=1)
+        b = RetryPolicy(jitter=1.0, jitter_seed=2)
+        assert [a.delay(i, key="x") for i in range(6)] != [
+            b.delay(i, key="x") for i in range(6)
+        ]
+
+    def test_jitter_validated(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_total_cap=-1.0)
+
+    def test_total_backoff_cap_clips_cumulative_sleep(self):
+        policy = RetryPolicy(
+            backoff_base=10.0, backoff_cap=10.0, backoff_total_cap=0.0
+        )
+        assert policy.sleep(0, key="x") == 0.0
+        partial = RetryPolicy(
+            backoff_base=10.0, backoff_cap=10.0, backoff_total_cap=0.02
+        )
+        assert partial.sleep(0, key="x") == pytest.approx(0.02)
+        assert partial.sleep(0, key="x", already_slept=0.02) == 0.0
 
 
 class TestReadValidation:
@@ -519,6 +598,32 @@ class TestGracefulDegradation:
         assert report.ok
         assert set(results) == {"456.hmmer", "470.lbm"}
         for name in baseline:
+            assert_bit_identical(baseline[name], results[name])
+
+    def test_broken_pool_with_multiple_campaigns_in_flight(self, park):
+        """Two hard crashers among three campaigns: each pool break is
+        attributed to its offender (degraded + serial recovery), the
+        bystander keeps its parallelism in a fresh pool, and the whole
+        suite completes bit-identically."""
+        names = ["456.hmmer", "445.gobmk", "470.lbm"]
+        baseline = park.observe_suite(names, n_layouts=3)
+        plan = FaultPlan(
+            seed=1, crash_benchmarks=("456.hmmer", "445.gobmk"),
+            hard_crash=True,
+        )
+        report = FailureReport()
+        with faults.injected(plan):
+            results = park.observe_suite(
+                names, n_layouts=3, workers=2, report=report
+            )
+        assert report.ok
+        assert set(results) == set(names)
+        assert {i.benchmark for i in report.degraded} == {
+            "456.hmmer", "445.gobmk",
+        }
+        # Two consecutive pool failures stay under the default threshold.
+        assert report.breaker_tripped is None
+        for name in names:
             assert_bit_identical(baseline[name], results[name])
 
 
