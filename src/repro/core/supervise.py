@@ -183,24 +183,29 @@ class ShutdownHandler:
     """
 
     def __init__(self) -> None:
-        self._requested = False
+        # An Event, not a bool: set()/is_set() are atomic on the C
+        # object, so the signal context and any polling thread agree
+        # without a lock (CONC002's sanctioned Event discipline).
+        self._requested = threading.Event()
         self.signal_name: str | None = None
         self._previous: list[tuple[int, object]] = []
 
     @property
     def requested(self) -> bool:
         """True once a shutdown signal (or :meth:`request`) arrived."""
-        return self._requested
+        return self._requested.is_set()
 
     def request(self, name: str = "request()") -> None:
         """Programmatically request a drain (what a signal would do)."""
-        self._requested = True
+        # Name first, then the event: a reader that observes the event
+        # set is guaranteed to observe the name that caused it.
         if self.signal_name is None:
             self.signal_name = name
+        self._requested.set()
 
     def check(self) -> None:
         """Raise :class:`~repro.errors.ShutdownRequested` if draining."""
-        if self._requested:
+        if self._requested.is_set():
             raise ShutdownRequested(
                 f"graceful shutdown requested ({self.signal_name}); "
                 "draining in-flight campaigns",
@@ -208,7 +213,7 @@ class ShutdownHandler:
             )
 
     def _handle(self, signum: int, frame: object) -> None:
-        if self._requested:
+        if self._requested.is_set():
             # Second signal: the operator wants out *now*.  Restore the
             # previous handlers and re-deliver default behaviour.
             self._restore()
@@ -219,15 +224,31 @@ class ShutdownHandler:
         self.request(signal.Signals(signum).name)
 
     def _restore(self) -> None:
-        while self._previous:
-            signum, handler = self._previous.pop()
+        # Swap the list out with one plain (GIL-atomic) store and walk
+        # the local copy: the signal context and the main context can
+        # both call _restore without a torn pop()-driven interleaving,
+        # and a second restore sees an empty list (idempotent).
+        previous = self._previous
+        self._previous = []
+        for signum, handler in reversed(previous):
             signal.signal(signum, handler)
 
     def __enter__(self) -> "ShutdownHandler":
-        if threading.current_thread() is threading.main_thread():
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        installed: list[tuple[int, object]] = []
+        try:
             for signum in (signal.SIGINT, signal.SIGTERM):
-                self._previous.append((signum, signal.getsignal(signum)))
+                installed.append((signum, signal.getsignal(signum)))
                 signal.signal(signum, self._handle)
+        except BaseException:
+            # A partial install may not leak: put back whatever was
+            # replaced before re-raising.
+            for signum, handler in reversed(installed):
+                signal.signal(signum, handler)
+            raise
+        # Publish with a single atomic store only once fully installed.
+        self._previous = installed
         return self
 
     def __exit__(self, *exc_info: object) -> None:

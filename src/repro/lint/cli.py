@@ -146,7 +146,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         rules = get_rules(sorted(set(requested))) if requested else None
     except LintUsageError as exc:
+        # An unknown rule id is a discoverability failure: answer it
+        # with the full catalogue, not just the error.
         print(f"error: {exc}", file=sys.stderr)
+        print(render_rule_list(), file=sys.stderr)
         return EXIT_USAGE
 
     if args.list_rules:

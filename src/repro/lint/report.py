@@ -178,10 +178,12 @@ def render_sarif(result: LintResult, rules: Sequence[Rule] | None = None) -> str
 
 
 def render_rule_list(rules: Sequence[Rule] | None = None) -> str:
-    """``--list-rules`` output: id, severity, title, rationale."""
+    """``--list-rules`` output: id, severity, pass tier, title, doc."""
     rules = list(all_rules() if rules is None else rules)
     out = []
     for rule in rules:
-        out.append(f"{rule.id} [{rule.severity}] {rule.title}")
+        out.append(
+            f"{rule.id} [{rule.severity}] ({rule.tier}) {rule.title}"
+        )
         out.append(f"    {rule.rationale}")
     return "\n".join(out)

@@ -1,15 +1,22 @@
 """Determinism rules: one module per rule.
 
-Per-file rules carry ``DET00x`` ids; whole-program (interprocedural)
-rules carry named ids (``SEED001``, ``PURE001``, ``EXC001``,
-``CONC001``, and the quantity-algebra pack ``UNIT001``–``UNIT003`` /
-``STAT001``) and run over the project call graph instead of one file.
+Per-file rules carry ``DET00x`` ids; whole-program rules carry named
+ids and run over the project call graph instead of one file: the
+interprocedural pack (``SEED001``, ``PURE001``, ``EXC001``,
+``CONC001``), the quantity-algebra pack (``UNIT001``–``UNIT003`` /
+``STAT001``), the concurrency pack riding
+:mod:`repro.lint.threadflow` (``CONC002``–``CONC005``), and the
+dtype pack riding :mod:`repro.lint.dtypeflow` (``VEC001``/``VEC002``).
 Importing this package registers every rule; the engine then iterates
 :func:`~repro.lint.rules.base.all_rules`.
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
     conc001_boundary,
+    conc002_shared_state,
+    conc003_signal_safety,
+    conc004_lock_discipline,
+    conc005_thread_lifecycle,
     det001_randomness,
     det002_wallclock,
     det003_iteration,
@@ -23,6 +30,8 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     unit001_mixed,
     unit002_ratio,
     unit003_call,
+    vec001_narrowing,
+    vec002_promotion,
 )
 from repro.lint.rules.base import (
     Finding,

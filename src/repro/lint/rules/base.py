@@ -101,6 +101,10 @@ class RuleContext:
         return ""
 
 
+#: Analyzer tiers, in the order the CI matrix runs them.
+TIERS = ("per-file", "interprocedural", "units", "concurrency", "dtype")
+
+
 class Rule:
     """Base class for determinism rules."""
 
@@ -109,6 +113,9 @@ class Rule:
     severity: str = "error"
     rationale: str = ""
     hint: str = ""
+    #: Which analyzer pass the rule belongs to (``--list-rules`` shows
+    #: this so the CI matrix split is discoverable from the CLI).
+    tier: str = "per-file"
 
     def applies(self, rel: str) -> bool:
         """Whether this rule polices the file at *rel* (default: all)."""
@@ -151,6 +158,8 @@ class ProgramRule(Rule):
     subtree gives the rule a partial call graph; unresolved calls are
     treated as unknown, never guessed at.
     """
+
+    tier: str = "interprocedural"
 
     def check(self, ctx: RuleContext) -> Iterator[Finding]:
         return iter(())  # program rules do not run per file

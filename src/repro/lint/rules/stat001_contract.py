@@ -78,6 +78,7 @@ class StatisticalContractRule(ProgramRule):
     id = "STAT001"
     title = "statistical-contract violation"
     severity = "error"
+    tier = "units"
     rationale = (
         "a regression fitted with swapped axes, or a slope published "
         "without its significance screen, yields numbers that look like "

@@ -38,6 +38,7 @@ class MixedUnitArithmeticRule(ProgramRule):
     id = "UNIT001"
     title = "mixed-unit arithmetic"
     severity = "error"
+    tier = "units"
     rationale = (
         "adding or comparing two quantities of different units (cycles "
         "vs instructions, MPKI vs CPI) is dimensionally meaningless — "

@@ -50,6 +50,7 @@ class MalformedRatioRule(ProgramRule):
     id = "UNIT002"
     title = "malformed ratio or bare per-kilo constant"
     severity = "error"
+    tier = "units"
     rationale = (
         "a hand-written misses/instructions ratio or a bare 1000 "
         "literal re-derives a published rate outside repro.units — "

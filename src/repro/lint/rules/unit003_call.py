@@ -63,6 +63,7 @@ class CallBoundaryUnitRule(ProgramRule):
     id = "UNIT003"
     title = "unit-inconsistent call or return binding"
     severity = "error"
+    tier = "units"
     rationale = (
         "a quantity crossing a function or dataclass boundary into a "
         "slot declared for a different unit (CPI into an Mpki "

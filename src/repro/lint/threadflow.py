@@ -1,0 +1,560 @@
+"""Concurrency-context reachability for the CONC002–CONC005 rules.
+
+PR 7 gave the campaign engine three genuinely concurrent contexts: the
+deadline watchdog's daemon work thread, POSIX signal handlers installed
+by :class:`~repro.core.supervise.ShutdownHandler`, and callables
+submitted to thread pools.  Code reachable from those entry points runs
+interleaved with the main context, so the shared-state and lock rules
+need to know, per function, *which contexts can execute it*.
+
+This module builds that view over the PR-4 call graph:
+
+* :func:`find_entry_points` — every statically resolvable concurrent
+  entry: ``threading.Thread(target=...)`` / ``threading.Timer``
+  targets, ``signal.signal(...)`` handlers, and callables submitted to
+  a ``ThreadPoolExecutor``.  Targets resolve through the import table,
+  the enclosing class (``self._handle``), and one level of local
+  dataflow (``handler.request`` where ``handler = ShutdownHandler()``).
+  A *nested* function passed as a target cannot be indexed by the
+  program symbol table; its body is kept as a context *region* and its
+  resolvable calls seed reachability directly.
+* :class:`ConcurrencyModel` — static-edge reachability from those
+  entries.  ``contexts_of(qualname)`` answers with a subset of
+  ``{"thread", "signal"}``; the empty set means "main context only, as
+  far as the analysis can prove".  Dynamic (name-match) edges are
+  excluded: an over-approximated context would manufacture false
+  cross-context findings, and the CONC rules inherit the lint
+  subsystem's UNKNOWN-never-flags contract.
+
+The model also centralizes the small lexicons the rules share: what
+counts as a lock object, an Event, a mutating method, or a
+deadline-arithmetic identifier.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+)
+from repro.lint.dataflow import FunctionDataflow
+
+#: The concurrent execution contexts the model distinguishes.  "main"
+#: is implicit: a function in neither set only runs in the main thread.
+CONTEXTS = ("thread", "signal")
+
+#: Constructors whose result runs a callable in a new thread.
+_THREAD_CONSTRUCTORS = frozenset({"threading.Thread", "threading.Timer"})
+
+#: Constructors whose result is a *thread* pool (shared memory).  The
+#: process-pool boundary is CONC001's business — workers there share
+#: nothing, so their callables are not a concurrency context here.
+_THREAD_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "multiprocessing.dummy.Pool",
+    }
+)
+
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+#: Constructors whose result is a lock (acquire/release discipline).
+LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: Constructors whose result is an Event (set/is_set are atomic and
+#: the sanctioned cross-context signalling discipline).
+EVENT_CONSTRUCTORS = frozenset({"threading.Event"})
+
+#: Identifier lexicon for lock-like names (``self._lock``, ``io_mutex``).
+LOCK_NAME_RE = re.compile(r"(^|_)(lock|mutex)$")
+
+#: Identifier lexicon for deadline/timeout arithmetic (CONC005).
+DEADLINE_NAME_RE = re.compile(
+    r"(^|_)(deadline|deadlines|timeout|timeouts|expiry|expires|remaining)(_|$)"
+)
+
+#: Container methods that mutate their receiver in place.  A call to
+#: one of these on shared state is a compound read-modify-write, never
+#: atomic under the GIL's bytecode boundaries.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "pop", "remove", "clear", "add",
+        "discard", "update", "setdefault", "popitem", "sort", "reverse",
+        "appendleft", "popleft",
+    }
+)
+
+
+def is_lock_expr(module: ModuleInfo, expr: ast.expr) -> bool:
+    """Whether *expr* provably denotes a lock (constructor or lexicon)."""
+    if isinstance(expr, ast.Call):
+        return module.imports.resolve(expr.func) in LOCK_CONSTRUCTORS
+    if isinstance(expr, ast.Attribute):
+        return bool(LOCK_NAME_RE.search(expr.attr))
+    if isinstance(expr, ast.Name):
+        return bool(LOCK_NAME_RE.search(expr.id))
+    return False
+
+
+def lock_key(expr: ast.expr) -> str:
+    """Stable identity of a lock expression (``self._lock``, ``a_lock``)."""
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return f"<lock@{getattr(expr, 'lineno', 0)}>"
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One resolved concurrent entry: context plus where it was bound."""
+
+    context: str  # "thread" | "signal"
+    qualname: str  # resolved target function, or "" for a nested region
+    rel: str
+    line: int
+
+
+@dataclass
+class NestedRegion:
+    """A nested ``def`` used as a thread target or signal handler.
+
+    The symbol table does not index nested functions, so the region
+    keeps the defining module/function and the AST node; rules walk the
+    body directly and reachability seeds from its resolvable calls.
+    """
+
+    context: str
+    module: ModuleInfo
+    enclosing: FunctionInfo | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _local_instance_class(
+    program: Program,
+    module: ModuleInfo,
+    flow: FunctionDataflow | None,
+    name: str,
+) -> ClassInfo | None:
+    """Class of a local provably holding one instantiation, else None."""
+    if flow is None:
+        return None
+    values = flow.assignments.get(name, [])
+    classes = [
+        cls
+        for v in values
+        if isinstance(v, ast.Call)
+        and (cls := program.instantiated_class(module, v)) is not None
+    ]
+    if len(classes) == 1 and len(values) == 1:
+        return classes[0]
+    return None
+
+
+def _resolve_callable(
+    program: Program,
+    module: ModuleInfo,
+    scope_fn: FunctionInfo | None,
+    flow: FunctionDataflow | None,
+    nested: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    expr: ast.expr,
+) -> tuple[list[FunctionInfo], ast.FunctionDef | ast.AsyncFunctionDef | None]:
+    """Resolve a callable expression to ``(functions, nested_def)``."""
+    # functools.partial(fn, ...) — unwrap to the wrapped callable.
+    if isinstance(expr, ast.Call):
+        dotted = module.imports.resolve(expr.func)
+        if dotted in ("functools.partial", "partial") and expr.args:
+            return _resolve_callable(
+                program, module, scope_fn, flow, nested, expr.args[0]
+            )
+        return [], None
+    if isinstance(expr, ast.Name):
+        if expr.id in nested:
+            return [], nested[expr.id]
+        dotted = module.imports.resolve(expr)
+        if dotted is not None:
+            hit = program.resolve_dotted(dotted)
+            if isinstance(hit, FunctionInfo):
+                return [hit], None
+        local = module.functions.get(expr.id)
+        if local is not None:
+            return [local], None
+        return [], None
+    if isinstance(expr, ast.Attribute):
+        dotted = module.imports.resolve(expr)
+        if dotted is not None:
+            hit = program.resolve_dotted(dotted)
+            if isinstance(hit, FunctionInfo):
+                return [hit], None
+            return [], None
+        base = expr.value
+        if isinstance(base, ast.Name):
+            if (
+                base.id in ("self", "cls")
+                and scope_fn is not None
+                and scope_fn.class_name is not None
+            ):
+                owner = module.classes.get(scope_fn.class_name)
+                if owner is not None:
+                    method = program.resolve_method(owner, expr.attr)
+                    if method is not None:
+                        return [method], None
+                return [], None
+            owner = _local_instance_class(program, module, flow, base.id)
+            if owner is not None:
+                method = program.resolve_method(owner, expr.attr)
+                if method is not None:
+                    return [method], None
+    return [], None
+
+
+def _scope_bodies(
+    module: ModuleInfo,
+) -> Iterator[tuple[FunctionInfo | None, list[ast.stmt]]]:
+    """The module's top level plus every indexed function body."""
+    top_level = [
+        stmt
+        for stmt in module.tree.body
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    yield None, top_level
+    for name in sorted(module.functions):
+        yield module.functions[name], list(module.functions[name].node.body)
+    for class_name in sorted(module.classes):
+        cls_info = module.classes[class_name]
+        for method_name in sorted(cls_info.methods):
+            method = cls_info.methods[method_name]
+            yield method, list(method.node.body)
+
+
+def _thread_pool_names(module: ModuleInfo, body: list[ast.stmt]) -> set[str]:
+    """Local names provably bound to a thread pool in this scope."""
+    names: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            value: ast.expr | None = None
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                target, value = node.optional_vars, node.context_expr
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Call)
+                and module.imports.resolve(value.func)
+                in _THREAD_POOL_CONSTRUCTORS
+            ):
+                names.add(target.id)
+    return names
+
+
+def find_entry_points(
+    program: Program,
+) -> tuple[list[EntryPoint], list[NestedRegion]]:
+    """Every resolvable concurrent entry point in the program."""
+    entries: list[EntryPoint] = []
+    regions: list[NestedRegion] = []
+    for rel in sorted(program.modules):
+        module = program.modules[rel]
+        for scope_fn, body in _scope_bodies(module):
+            flow = (
+                FunctionDataflow(
+                    scope_fn.node, module_constants=module.module_level_names
+                )
+                if scope_fn is not None
+                else None
+            )
+            nested = {
+                n.name: n
+                for stmt in body
+                for n in ast.walk(stmt)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            pools = _thread_pool_names(module, body)
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    context, target = _entry_of_call(module, pools, node)
+                    if target is None:
+                        continue
+                    fns, nested_def = _resolve_callable(
+                        program, module, scope_fn, flow, nested, target
+                    )
+                    for fn in fns:
+                        entries.append(
+                            EntryPoint(
+                                context=context,
+                                qualname=fn.qualname,
+                                rel=rel,
+                                line=getattr(node, "lineno", 0),
+                            )
+                        )
+                    if nested_def is not None:
+                        regions.append(
+                            NestedRegion(
+                                context=context,
+                                module=module,
+                                enclosing=scope_fn,
+                                node=nested_def,
+                            )
+                        )
+    return entries, regions
+
+
+def _entry_of_call(
+    module: ModuleInfo, pools: set[str], call: ast.Call
+) -> tuple[str, ast.expr | None]:
+    """``(context, target_expr)`` of a call, target None when not one."""
+    dotted = module.imports.resolve(call.func)
+    if dotted in _THREAD_CONSTRUCTORS:
+        for kw in call.keywords:
+            if kw.arg == "target" or (dotted.endswith("Timer") and kw.arg == "function"):
+                return "thread", kw.value
+        # Thread(group, target, ...) / Timer(interval, function, ...).
+        if len(call.args) >= 2:
+            return "thread", call.args[1]
+        return "thread", None
+    if dotted == "signal.signal":
+        if len(call.args) >= 2:
+            return "signal", call.args[1]
+        for kw in call.keywords:
+            if kw.arg == "handler":
+                return "signal", kw.value
+        return "signal", None
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _SUBMIT_METHODS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in pools
+        and call.args
+    ):
+        return "thread", call.args[0]
+    return "thread", None
+
+
+class ConcurrencyModel:
+    """Which contexts can execute each function, program-wide."""
+
+    def __init__(self, program: Program, callgraph: CallGraph) -> None:
+        self.program = program
+        self.callgraph = callgraph
+        self.entries, self.regions = find_entry_points(program)
+        self._reachable: dict[str, set[str]] = {}
+        for context in CONTEXTS:
+            roots = {
+                e.qualname for e in self.entries if e.context == context
+            }
+            roots |= self._region_roots(context)
+            self._reachable[context] = callgraph.reachable(
+                roots, include_dynamic=False
+            )
+
+    def _region_roots(self, context: str) -> set[str]:
+        """Qualnames called from nested-def regions of one context."""
+        roots: set[str] = set()
+        for region in self.regions:
+            if region.context != context:
+                continue
+            for stmt in region.node.body:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    targets, dynamic = self.program.resolve_call(
+                        region.module, region.enclosing, node
+                    )
+                    if not dynamic:
+                        roots.update(t.qualname for t in targets)
+        return roots
+
+    def contexts_of(self, qualname: str) -> frozenset[str]:
+        """Concurrent contexts that can execute *qualname* (∅ = main only)."""
+        return frozenset(
+            context
+            for context in CONTEXTS
+            if qualname in self._reachable[context]
+        )
+
+    def signal_functions(self) -> list[FunctionInfo]:
+        """Every indexed function reachable from a signal handler."""
+        return [
+            self.program.functions[q]
+            for q in sorted(self._reachable["signal"])
+            if q in self.program.functions
+        ]
+
+    def signal_regions(self) -> list[NestedRegion]:
+        """Nested-def signal handlers (walked directly by CONC003)."""
+        return [r for r in self.regions if r.context == "signal"]
+
+
+@dataclass
+class AttributeUse:
+    """One access to ``self.<attr>`` inside a method."""
+
+    attr: str
+    method: FunctionInfo
+    node: ast.AST
+    #: "load", "store" (plain single-store), or a compound hazard:
+    #: "augstore" (``+=``), "mutcall" (``.append(...)``), "substore"
+    #: (``self.x[i] = ...``), "rmw" (``self.x = f(self.x)``).
+    kind: str
+    #: Lock keys of every ``with self.<lock>:`` enclosing the access.
+    held_locks: tuple[str, ...] = ()
+
+    @property
+    def is_hazard(self) -> bool:
+        """Compound (non-atomic) mutation; plain stores are GIL-atomic."""
+        return self.kind in ("augstore", "mutcall", "substore", "rmw")
+
+
+@dataclass
+class ClassConcurrency:
+    """Shared-state facts about one class for CONC002."""
+
+    cls: ClassInfo
+    module: ModuleInfo
+    uses: list[AttributeUse] = field(default_factory=list)
+    lock_attrs: set[str] = field(default_factory=set)
+    event_attrs: set[str] = field(default_factory=set)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _with_lock_keys(node: ast.AST) -> tuple[str, ...]:
+    """Lock keys of every enclosing ``with`` whose item looks lock-like."""
+    keys: list[str] = []
+    current = getattr(node, "parent", None)
+    while current is not None and not isinstance(
+        current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                expr = item.context_expr
+                name = _self_attr(expr)
+                if name is not None and LOCK_NAME_RE.search(name):
+                    keys.append(lock_key(expr))
+                elif isinstance(expr, ast.Name) and LOCK_NAME_RE.search(expr.id):
+                    keys.append(lock_key(expr))
+        current = getattr(current, "parent", None)
+    return tuple(keys)
+
+
+def analyze_class(module: ModuleInfo, cls: ClassInfo) -> ClassConcurrency:
+    """Collect every ``self.<attr>`` use and the lock/Event attributes."""
+    facts = ClassConcurrency(cls=cls, module=module)
+    for method in cls.methods.values():
+        for stmt in method.node.body:
+            for node in ast.walk(stmt):
+                _collect_use(module, facts, method, node)
+    return facts
+
+
+def _collect_use(
+    module: ModuleInfo,
+    facts: ClassConcurrency,
+    method: FunctionInfo,
+    node: ast.AST,
+) -> None:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if isinstance(node.value, ast.Call):
+                dotted = module.imports.resolve(node.value.func)
+                if dotted in LOCK_CONSTRUCTORS:
+                    facts.lock_attrs.add(attr)
+                if dotted in EVENT_CONSTRUCTORS:
+                    facts.event_attrs.add(attr)
+            reads_self = any(
+                _self_attr(n) == attr for n in ast.walk(node.value)
+            )
+            facts.uses.append(
+                AttributeUse(
+                    attr=attr,
+                    method=method,
+                    node=target,
+                    kind="rmw" if reads_self else "store",
+                    held_locks=_with_lock_keys(node),
+                )
+            )
+        return
+    if isinstance(node, ast.AugAssign):
+        attr = _self_attr(node.target)
+        if attr is not None:
+            facts.uses.append(
+                AttributeUse(
+                    attr=attr,
+                    method=method,
+                    node=node.target,
+                    kind="augstore",
+                    held_locks=_with_lock_keys(node),
+                )
+            )
+        return
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        attr = _self_attr(node.func.value)
+        if attr is not None and node.func.attr in MUTATING_METHODS:
+            facts.uses.append(
+                AttributeUse(
+                    attr=attr,
+                    method=method,
+                    node=node,
+                    kind="mutcall",
+                    held_locks=_with_lock_keys(node),
+                )
+            )
+        return
+    if isinstance(node, ast.Subscript) and isinstance(
+        getattr(node, "ctx", None), (ast.Store, ast.Del)
+    ):
+        attr = _self_attr(node.value)
+        if attr is not None:
+            facts.uses.append(
+                AttributeUse(
+                    attr=attr,
+                    method=method,
+                    node=node,
+                    kind="substore",
+                    held_locks=_with_lock_keys(node),
+                )
+            )
+        return
+    if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+        attr = _self_attr(node)
+        if attr is not None:
+            facts.uses.append(
+                AttributeUse(
+                    attr=attr, method=method, node=node, kind="load"
+                )
+            )

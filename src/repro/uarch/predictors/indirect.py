@@ -159,7 +159,11 @@ class IttageLitePredictor:
         for start, stop in vector.iter_chunks(n):
             chunk_tgt = tgt[start:stop]
             hist, target_history = vector.shifted_histories(
-                history_bits, chunk_tgt & 7, target_history, shift=3
+                history_bits,
+                # repro: allow-VEC001 deliberate truncation mirrored by the oracle — update_target_history applies the identical `target & 7` before folding, so both engines keep exactly the 3 low target bits
+                chunk_tgt & 7,
+                target_history,
+                shift=3,
             )
             hist_prev = vector.last_value_scan(
                 (pcs[start:stop] ^ hist) & (self.entries - 1),

@@ -162,6 +162,72 @@ class TestShutdownHandler:
         assert outcome["installed"] is False
 
 
+class TestShutdownWatchdogInterleaving:
+    """The stress scenario: a drain request lands from other threads
+    while the serial watchdog is timing out a hung campaign.  Neither
+    side holds a lock the other needs — the Event-based handler and the
+    join-polling watchdog must interleave freely — so the test asserts
+    progress (everything finishes well under the hang bound, i.e. no
+    deadlock) and that the measurement closure stayed untouched (a
+    post-stress run exports bit-identical results)."""
+
+    def test_drain_during_watchdog_expiry(self, park):
+        baseline = park.observe_suite(["470.lbm"], n_layouts=3)
+        handler = ShutdownHandler()
+        errors: list[str] = []
+        done: list[int] = []
+
+        def requester() -> None:
+            # Land the drain request mid-deadline, then hammer the
+            # read paths the supervisors use while the watchdog is
+            # still join-polling the hung work thread.
+            time.sleep(DEADLINE / 2)
+            handler.request("SIGTERM")
+            for _ in range(200):
+                if not handler.requested:
+                    errors.append("request lost")
+                    return
+                try:
+                    handler.check()
+                except ShutdownRequested as exc:
+                    if exc.signal_name != "SIGTERM":
+                        errors.append(f"wrong name {exc.signal_name!r}")
+                        return
+                else:
+                    errors.append("check() missed the drain")
+                    return
+            done.append(1)
+
+        threads = [
+            threading.Thread(target=requester, daemon=True) for _ in range(4)
+        ]
+        start = telemetry.tick_seconds()
+        for thread in threads:
+            thread.start()
+        with pytest.raises(CampaignTimeoutError):
+            run_with_deadline(
+                lambda: time.sleep(HANG), DEADLINE, describe="stress"
+            )
+        for thread in threads:
+            thread.join(HANG)
+        elapsed = telemetry.tick_seconds() - start
+        assert not any(thread.is_alive() for thread in threads)
+        assert not errors
+        assert len(done) == len(threads)
+        # Progress, not deadlock: the watchdog expired on time and the
+        # requesters drained their loops well under the hang bound.
+        assert elapsed < HANG
+
+        # The drain semantics survived the interleaving: nothing new
+        # starts under the handler...
+        assert park.observe_suite(
+            ["470.lbm"], n_layouts=3, shutdown=handler
+        ) == {}
+        # ...and the stress left the measurement closure untouched.
+        results = park.observe_suite(["470.lbm"], n_layouts=3)
+        assert_bit_identical(baseline["470.lbm"], results["470.lbm"])
+
+
 class TestSuiteJournal:
     def test_round_trip_and_replay(self, tmp_path):
         journal = SuiteJournal(tmp_path / "suite-journal.json")
