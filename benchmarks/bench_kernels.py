@@ -22,6 +22,13 @@ Workloads:
 
 Run:  python benchmarks/bench_kernels.py [--output PATH]
 Exits 1 if any scalar/vector count diverges.
+
+``--compare BASELINE.json`` additionally gates against a committed
+report: any kernel family whose fresh speedup falls more than
+``--max-regression`` (default 30%) below the committed speedup fails
+the run.  Speedup ratios (scalar time / vector time on the same
+machine) are far more stable across hosts than absolute ns/event, so
+the gate travels to CI runners of different generations.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.uarch.btb import BranchTargetBuffer
 from repro.uarch.caches import SetAssociativeCache
 from repro.uarch.predictors.agree import AgreePredictor
 from repro.uarch.predictors.bimodal import BimodalPredictor
+from repro.uarch.predictors.bimode import BiModePredictor
 from repro.uarch.predictors.gas import GAsPredictor
 from repro.uarch.predictors.gshare import GsharePredictor
 from repro.uarch.predictors.hybrid import HybridPredictor
@@ -138,6 +146,36 @@ def _simulate_streams(structure, streams, warmup_fraction: float, engine: str) -
     return total
 
 
+def compare_to_baseline(
+    report: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Kernel families whose speedup regressed past *max_regression*.
+
+    Families are matched by row name; a family present in only one
+    report is reported as drift, not a regression — renames and new
+    kernels should not trip the gate, but they should be visible.
+    """
+    fresh = {r["kernel"]: r for r in report["rows"]}
+    committed = {r["kernel"]: r for r in baseline["rows"]}
+    failures: list[str] = []
+    floor_note = []
+    for name in sorted(set(fresh) ^ set(committed)):
+        side = "fresh" if name in fresh else "baseline"
+        floor_note.append(f"  (family {name!r} only in the {side} report)")
+    for name in sorted(set(fresh) & set(committed)):
+        was, now = committed[name]["speedup"], fresh[name]["speedup"]
+        floor = was * (1.0 - max_regression)
+        if now < floor:
+            failures.append(
+                f"{name}: speedup {now:.2f}x regressed below "
+                f"{floor:.2f}x (committed {was:.2f}x, "
+                f"-{(1 - now / was) * 100:.0f}%)"
+            )
+    for note in floor_note:
+        print(note)
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -145,6 +183,19 @@ def main() -> int:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
         help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="committed BENCH_kernels.json to gate speedups against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="per-family speedup regression tolerance (fraction, default 0.30)",
     )
     args = parser.parse_args()
 
@@ -168,6 +219,9 @@ def main() -> int:
         "gas-4096x10": lambda: GAsPredictor(4096, history_bits=10),
         "pas-1024x16384": lambda: PAsPredictor(1024, 16384, history_bits=10),
         "agree-4096x8": lambda: AgreePredictor(4096, history_bits=8, bias_entries=2048),
+        "bimode-4096x8": lambda: BiModePredictor(
+            4096, history_bits=8, choice_entries=2048
+        ),
         "tournament-alpha": lambda: TournamentPredictor(),
         "hybrid-xeon": lambda: HybridPredictor(
             bimodal_entries=config.bimodal_entries,
@@ -269,6 +323,23 @@ def main() -> int:
         return 1
     best = max(r["speedup"] for r in rows)
     print(f"max kernel speedup: {best:.1f}x; end-to-end {end_to_end['speedup']:.1f}x")
+    if args.compare is not None:
+        baseline = json.loads(args.compare.read_text())
+        failures = compare_to_baseline(report, baseline, args.max_regression)
+        if failures:
+            print(
+                f"FAIL: {len(failures)} kernel famil"
+                f"{'y' if len(failures) == 1 else 'ies'} regressed past "
+                f"{args.max_regression * 100:.0f}% of the committed speedup:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"regression gate: all shared families within "
+            f"{args.max_regression * 100:.0f}% of {args.compare}"
+        )
     return 0
 
 

@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import LintUsageError
 from repro.lint.callgraph import CallGraph, Program
+from repro.telemetry import tick_seconds
 from repro.lint.rules import Rule, RuleContext, all_rules
 from repro.lint.rules.base import (
     Finding,
@@ -92,6 +93,10 @@ class LintResult:
     suppressed: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    #: Analyzer wall-time telemetry: phase name -> seconds, plus a
+    #: nested ``program_rules`` map of per-rule seconds.  Telemetry
+    #: only — never an input to anything measured or compared.
+    timing: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -241,7 +246,12 @@ class LintEngine:
         (plus call graph) and every :class:`ProgramRule` runs over it.
         Program findings anchor to ordinary file/line locations, so
         inline suppressions and the baseline apply to them unchanged.
+
+        The shared context is built once per run; program rules reuse
+        its memoized models (:meth:`ProgramContext.shared`), and
+        ``result.timing`` records where the analyzer's wall time went.
         """
+        t_start = tick_seconds()
         result = LintResult()
         parsed: list[tuple[str, ast.Module, list[str]]] = []
         suppressions_by_rel: dict[str, dict[int, list[Suppression]]] = {}
@@ -260,10 +270,15 @@ class LintEngine:
             )
             raw_active.extend(active)
             result.suppressed.extend(suppressed)
+        t_files = tick_seconds()
+        per_rule_seconds: dict[str, float] = {}
+        t_build = t_files
         program_rules = [r for r in self.rules if isinstance(r, ProgramRule)]
         if program_rules and parsed:
             ctx = self.build_program_context(parsed)
+            t_build = tick_seconds()
             for rule in program_rules:
+                t_rule = tick_seconds()
                 for finding in rule.check_program(ctx):
                     active, suppressed = self._apply_suppressions(
                         [finding],
@@ -271,6 +286,9 @@ class LintEngine:
                     )
                     raw_active.extend(active)
                     result.suppressed.extend(suppressed)
+                per_rule_seconds[rule.id] = round(
+                    tick_seconds() - t_rule, 6
+                )
         if baseline is None:
             result.findings.extend(raw_active)
         else:
@@ -280,6 +298,12 @@ class LintEngine:
         result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         result.baselined.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        result.timing = {
+            "per_file_seconds": round(t_files - t_start, 6),
+            "program_build_seconds": round(t_build - t_files, 6),
+            "program_rules": dict(sorted(per_rule_seconds.items())),
+            "total_seconds": round(tick_seconds() - t_start, 6),
+        }
         return result
 
     @staticmethod

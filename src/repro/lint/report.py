@@ -1,9 +1,9 @@
 """Rendering lint results: human-readable text, ``--json``, ``--sarif``.
 
-The JSON schema (version 2) is stable for CI consumption::
+The JSON schema (version 3) is stable for CI consumption::
 
     {
-      "version": 2,
+      "version": 3,
       "rule_set": ["CONC001", "DET001", ..., "SEED001"],
       "clean": bool,
       "files_scanned": int,
@@ -11,12 +11,19 @@ The JSON schema (version 2) is stable for CI consumption::
                   "by_rule": {"DET001": int, ...}},
       "findings": [{"rule", "severity", "path", "line", "col",
                     "message", "hint", "fingerprint"}, ...],
-      "rules": {"DET001": {"title", "severity", "rationale", "hint"}, ...}
+      "rules": {"DET001": {"title", "severity", "rationale", "hint"}, ...},
+      "timing": {"per_file_seconds": float,
+                 "program_build_seconds": float,
+                 "program_rules": {"SEED001": float, ...},
+                 "total_seconds": float}
     }
 
 Version 2 added ``rule_set`` (the ids that actually ran) so a consumer
 comparing two reports — or a baseline written from one — can tell a
 clean run from a run that never executed the rule it cares about.
+Version 3 added ``timing`` — analyzer wall-time telemetry.  It is the
+one non-deterministic key in the payload; byte-for-byte comparisons of
+two reports must strip it first.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from typing import Sequence
 from repro.lint.engine import LintResult
 from repro.lint.rules import Rule, all_rules
 
-JSON_SCHEMA_VERSION = 2
+JSON_SCHEMA_VERSION = 3
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -83,6 +90,7 @@ def render_json(result: LintResult, rules: Sequence[Rule] | None = None) -> str:
             ),
         },
         "findings": [f.to_json() for f in result.findings],
+        "timing": result.timing,
         "rules": {
             rule.id: {
                 "title": rule.title,

@@ -5,9 +5,11 @@ ids and run over the project call graph instead of one file: the
 interprocedural pack (``SEED001``, ``PURE001``, ``EXC001``,
 ``CONC001``), the quantity-algebra pack (``UNIT001``–``UNIT003`` /
 ``STAT001``), the concurrency pack riding
-:mod:`repro.lint.threadflow` (``CONC002``–``CONC005``), and the
-dtype pack riding :mod:`repro.lint.dtypeflow` (``VEC001``/``VEC002``).
-Importing this package registers every rule; the engine then iterates
+:mod:`repro.lint.threadflow` (``CONC002``–``CONC005``), the dtype
+pack riding :mod:`repro.lint.dtypeflow` (``VEC001``/``VEC002``), and
+the hot-path performance pack riding :mod:`repro.lint.perfflow`
+(``PERF001``–``PERF004``).  Importing this package registers every
+rule; the engine then iterates
 :func:`~repro.lint.rules.base.all_rules`.
 """
 
@@ -24,6 +26,10 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     det005_env,
     det006_json_ordering,
     exc001_contract,
+    perf001_hot_loop,
+    perf002_loop_alloc,
+    perf003_dtype_churn,
+    perf004_engine_contract,
     pure001_purity,
     seed001_provenance,
     stat001_contract,

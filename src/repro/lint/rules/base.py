@@ -102,7 +102,7 @@ class RuleContext:
 
 
 #: Analyzer tiers, in the order the CI matrix runs them.
-TIERS = ("per-file", "interprocedural", "units", "concurrency", "dtype")
+TIERS = ("per-file", "interprocedural", "units", "concurrency", "dtype", "perf")
 
 
 class Rule:
@@ -195,11 +195,22 @@ class ProgramContext:
 
     ``program`` and ``callgraph`` are built once by the engine and
     shared by every program rule; both come from
-    :mod:`repro.lint.callgraph`.
+    :mod:`repro.lint.callgraph`.  Derived models (the concurrency
+    model, materialized dtype scopes, the hot-path model) are built on
+    first use through :meth:`shared` and reused by every rule in the
+    invocation, so running the full rule set costs one construction of
+    each model rather than one per rule.
     """
 
     program: object  # repro.lint.callgraph.Program
     callgraph: object  # repro.lint.callgraph.CallGraph
+    _shared: dict = field(default_factory=dict, repr=False)
+
+    def shared(self, key: str, build):
+        """The memoized value of ``build()`` under *key* for this run."""
+        if key not in self._shared:
+            self._shared[key] = build()
+        return self._shared[key]
 
 
 _REGISTRY: dict[str, Rule] = {}

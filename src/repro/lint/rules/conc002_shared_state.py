@@ -72,7 +72,10 @@ class SharedStateRule(ProgramRule):
 
     def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
         program = ctx.program
-        model = ConcurrencyModel(program, ctx.callgraph)
+        model = ctx.shared(
+            "concurrency-model",
+            lambda: ConcurrencyModel(program, ctx.callgraph),
+        )
         for rel in sorted(program.modules):
             if not in_scope(rel):
                 continue

@@ -104,7 +104,10 @@ class SignalSafetyRule(ProgramRule):
 
     def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
         program = ctx.program
-        model = ConcurrencyModel(program, ctx.callgraph)
+        model = ctx.shared(
+            "concurrency-model",
+            lambda: ConcurrencyModel(program, ctx.callgraph),
+        )
         for fn in model.signal_functions():
             if not in_scope(fn.rel):
                 continue

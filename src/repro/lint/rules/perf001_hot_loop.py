@@ -1,0 +1,90 @@
+"""PERF001 — per-event Python loop on a vector-path hot scope.
+
+The engine contract keeps exactly one per-event loop per structure:
+the scalar differential oracle, lexically inside an
+``if engine == "scalar":`` guard.  Any *other* per-event loop reachable
+from the engine entry points is the bug class PR 6 existed to remove —
+a Python-speed interpreter of event arrays on the path the vector
+engine is supposed to own.
+
+The rule rides :mod:`repro.lint.perfflow`: a loop flags when (a) its
+enclosing scope is hot (vector-path reachable from
+``simulate``/``simulate_mask``/``execute``/``observe``), (b) it sits
+outside every scalar-engine guard, and (c) it iterates event-array
+material (``.tolist()`` streams, ``zip``/``enumerate`` of them, or
+trace-lexicon parameters).  Chunked kernel dispatch
+(``for start, stop in vector.iter_chunks(n)``) never matches (c).
+
+Known bulk paths that genuinely have no array formulation yet carry
+justified inline suppressions — the residue list lives in ROADMAP
+item 1, and deleting a suppression is how a conversion proves itself
+(bimode did, in the PR that introduced this rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.perfflow import HotPathModel
+from repro.lint.rules.base import (
+    Finding,
+    ProgramContext,
+    ProgramRule,
+    has_segment,
+    register,
+)
+
+
+def in_scope(rel: str) -> bool:
+    """The perf contract binds the measurement core."""
+    return (
+        has_segment(rel, "uarch")
+        or has_segment(rel, "machine")
+        or has_segment(rel, "mase")
+    )
+
+
+def hot_path_model(ctx: ProgramContext) -> HotPathModel:
+    """The shared per-invocation :class:`HotPathModel`."""
+    return ctx.shared("perf-hot-path", lambda: HotPathModel(ctx.program))
+
+
+@register
+class HotLoopRule(ProgramRule):
+    """Per-event loops belong to the scalar oracle, nowhere else."""
+
+    id = "PERF001"
+    title = "per-event Python loop on a hot vector path"
+    severity = "error"
+    tier = "perf"
+    rationale = (
+        "a per-event Python loop reachable from the engine entry "
+        "points runs at interpreter speed on the path the chunked "
+        "numpy kernels are supposed to own — the exact shape PR 6 "
+        "vectorized away; only the scalar oracle may loop per event"
+    )
+    hint = (
+        "convert the loop onto a repro.uarch.vector kernel family "
+        "(counter_scan/last_value_scan/lru_scan/shifted_histories) "
+        "behind the engine knob, or move it under the "
+        'if engine == "scalar" oracle guard; a genuinely '
+        "unconvertible update may carry a justified "
+        "# repro: allow-PERF001 suppression"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
+        model = hot_path_model(ctx)
+        for loop in model.hot_loops():
+            if not in_scope(loop.module.rel):
+                continue
+            if not loop.per_event or loop.chunked:
+                continue
+            where = loop.qualname.split(".", 1)[-1]
+            yield self.finding_at(
+                loop.module.rel,
+                loop.node,
+                f"{where} is hot (vector-path reachable from an engine "
+                "entry point) but loops per event in Python — the "
+                f"{model.kernel_hint(loop)} kernel family applies here",
+                source_line=loop.module.source_text(loop.node),
+            )

@@ -1,0 +1,84 @@
+"""PERF002 — array allocation or copy inside a hot loop body.
+
+Allocation inside a loop on a hot path multiplies allocator traffic by
+the trip count: ``np.arange`` rebuilt every LRU round, a
+``concatenate``-grows-the-result accumulation, an ``astype`` copy per
+iteration.  Each is cheap once and ruinous in a loop the campaign
+engine spins millions of times.
+
+The vocabulary is lexical and deliberately narrow (numpy constructors
+resolved through the import table, plus the ``astype``/``copy``/
+``tolist`` copying methods); compute ufuncs like ``np.where`` or
+``np.minimum`` are not allocations *the author can hoist*, so they
+never flag.  The sanctioned chunk-dispatch loop
+(``for start, stop in vector.iter_chunks(n)``) is exempt: kernels are
+*called* per chunk and allocate internally by design — the loop exists
+to bound working-set size, and its per-iteration cost is amortized
+over 2^18 events.  Only the loop's own lexical body counts; a nested
+non-chunk loop records (and flags) its own allocations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.rules.base import (
+    Finding,
+    ProgramContext,
+    ProgramRule,
+    register,
+)
+from repro.lint.rules.perf001_hot_loop import hot_path_model, in_scope
+
+
+@register
+class LoopAllocationRule(ProgramRule):
+    """Hoist allocations out of hot loops; chunk loops are exempt."""
+
+    id = "PERF002"
+    title = "array allocation/copy inside a hot loop"
+    severity = "warning"
+    tier = "perf"
+    rationale = (
+        "an allocation or array copy inside a hot loop pays allocator "
+        "and memcpy cost once per iteration instead of once per call; "
+        "on campaign streams the trip count is the event count, so a "
+        "single np.arange or astype in the wrong place dominates the "
+        "kernel it sits in"
+    )
+    hint = (
+        "hoist the allocation above the loop (allocate once, slice "
+        "views per iteration), accumulate into a preallocated buffer "
+        "instead of concatenate/append, or batch the cast before the "
+        "loop; intentional per-iteration allocation may carry a "
+        "justified # repro: allow-PERF002 suppression"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
+        model = hot_path_model(ctx)
+        for loop in model.hot_loops():
+            if not in_scope(loop.module.rel) or loop.chunked:
+                continue
+            for call in loop.allocations:
+                yield self.finding_at(
+                    loop.module.rel,
+                    call,
+                    f"{_callee(call)} allocates inside a hot loop in "
+                    f"{loop.qualname.split('.', 1)[-1]} — every "
+                    "iteration pays for what one pre-loop allocation "
+                    "could provide",
+                    source_line=loop.module.source_text(call),
+                )
+
+
+def _callee(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            return f"{base.id}.{func.attr}"
+        return f".{func.attr}"
+    if isinstance(func, ast.Name):
+        return func.id
+    return "<call>"

@@ -74,7 +74,10 @@ class NarrowingCastRule(ProgramRule):
 
     def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
         program = ctx.program
-        for module, _fn, body, scope in iter_kernel_scopes(program):
+        scopes = ctx.shared(
+            "kernel-dtype-scopes", lambda: list(iter_kernel_scopes(program))
+        )
+        for module, _fn, body, scope in scopes:
             if not in_scope(module.rel):
                 continue
             for stmt in body:

@@ -255,9 +255,25 @@ class SkewedAssociativeCache:
         self._ways[victim_way][idx] = block
         return True
 
-    def simulate_mask(self, addresses: np.ndarray) -> np.ndarray:
-        """Reset, stream *addresses*, return the per-access miss mask."""
+    def simulate_mask(
+        self, addresses: np.ndarray, engine: str = "vector"
+    ) -> np.ndarray:
+        """Reset, stream *addresses*, return the per-access miss mask.
+
+        *engine* selects the implementation, never the counts: the
+        scalar oracle streams through :meth:`access`; the bulk path
+        fuses the per-way probes into one loop.
+        """
+        vector.require_engine(engine)
         self.reset()
+        n = int(addresses.size)
+        misses = np.zeros(n, dtype=bool)
+        if engine == "scalar":
+            access = self.access
+            for i, address in enumerate(addresses.tolist()):
+                if access(address):
+                    misses[i] = True
+            return misses
         config = self.config
         shift = config.block_shift
         n_sets = config.n_sets
@@ -265,7 +281,7 @@ class SkewedAssociativeCache:
         ways = self._ways
         victim = 0
         blocks = (addresses >> shift).tolist()
-        misses = np.zeros(len(blocks), dtype=bool)
+        # repro: allow-PERF001 round-robin skewed replacement is a serial recurrence across all ways (the victim pointer advances only on misses, and every way hashes differently) — no vector kernel family covers it yet (ROADMAP item 1)
         for i, block in enumerate(blocks):
             hit = False
             for way in range(assoc):
@@ -281,6 +297,8 @@ class SkewedAssociativeCache:
         self._victim = victim
         return misses
 
-    def simulate(self, addresses: np.ndarray) -> int:
+    def simulate(self, addresses: np.ndarray, engine: str = "vector") -> int:
         """Reset and stream; return the miss count."""
-        return int(np.count_nonzero(self.simulate_mask(addresses)))
+        return int(
+            np.count_nonzero(self.simulate_mask(addresses, engine=engine))
+        )

@@ -92,6 +92,7 @@ class GskewPredictor(BranchPredictor):
         outs = outcomes.tolist()
         history = self._history
         mispredicts = 0
+        # repro: allow-PERF001 the 3-bank majority vote trains each bank only when it agreed with the prediction or the prediction missed — three counter streams coupled through one vote per event, with no counter_scan formulation yet (ROADMAP item 1)
         for pc, outcome in zip(pcs, outs):
             h1, h2, h3 = _skew_hashes(pc, history, mask)
             c0 = bank0[h1]

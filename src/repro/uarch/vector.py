@@ -174,8 +174,12 @@ class IndexGroups:
 
 #: Longest per-entry run chain handled by the round-based strategy in
 #: :func:`counter_scan`; longer chains (one entry dominating the
-#: stream) switch to the segmented doubling scan.
-SCAN_ROUNDS_LIMIT = 192
+#: stream) switch to the segmented doubling scan.  Tuned on the
+#: campaign branch streams: pc-indexed tables (bimodal, bi-mode
+#: choice) are skewed enough that round counts near 100 lose to the
+#: log-depth doubling scan, while history-hashed streams (depth ~40)
+#: must stay on the cheaper direct path.
+SCAN_ROUNDS_LIMIT = 64
 
 
 def _clamp_doubling(
@@ -525,6 +529,8 @@ def lru_scan(state: LruState, set_ids: np.ndarray, tags: np.ndarray) -> np.ndarr
     tag_table = state.tags
     age_table = state.ages
     round_miss = np.empty(m, dtype=bool)
+    # Round 0 is the widest round; later rounds slice a prefix view.
+    all_lanes = np.arange(int(bounds[1]) - int(bounds[0]))
     for r in range(bounds.size - 1):
         lo, hi = int(bounds[r]), int(bounds[r + 1])
         if lo == hi:
@@ -535,7 +541,7 @@ def lru_scan(state: LruState, set_ids: np.ndarray, tags: np.ndarray) -> np.ndarr
         row_ages = age_table[active]
         match = row_tags == wanted[:, None]
         hit = match.any(axis=1)
-        lanes = np.arange(hi - lo)
+        lanes = all_lanes[: hi - lo]
         way = np.where(hit, match.argmax(axis=1), row_ages.argmax(axis=1))
         selected_age = row_ages[lanes, way]
         row_ages += row_ages < selected_age[:, None]

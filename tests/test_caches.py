@@ -230,6 +230,30 @@ class TestSkewedAssociative:
         scalar = sum(scalar_cache.access(int(a)) for a in addresses)
         assert bulk == scalar
 
+    @pytest.mark.parametrize("assoc", [2, 4])
+    def test_engines_bit_identical(self, assoc):
+        """The engine knob selects an implementation, not semantics:
+        identical miss counts and identical post-run way/victim state."""
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        rng = np.random.default_rng(11)
+        addresses = rng.integers(0, 1 << 15, 700)
+        config = CacheConfig(4096, 64, assoc, name="skewed")
+        scalar = SkewedAssociativeCache(config)
+        vectored = SkewedAssociativeCache(config)
+        misses_s = scalar.simulate(addresses, engine="scalar")
+        misses_v = vectored.simulate(addresses, engine="vector")
+        assert misses_s == misses_v
+        assert scalar._ways == vectored._ways
+        assert scalar._victim == vectored._victim
+
+    def test_rejects_unknown_engine(self):
+        from repro.uarch.caches import SkewedAssociativeCache
+
+        cache = SkewedAssociativeCache(self._config())
+        with pytest.raises(ConfigurationError):
+            cache.simulate(np.array([0], dtype=np.int64), engine="warp")
+
     def test_needs_two_ways(self):
         from repro.uarch.caches import SkewedAssociativeCache
 

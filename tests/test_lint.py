@@ -845,11 +845,17 @@ class TestCli:
         code, out, _ = self.run_cli(str(root), "--json")
         assert code == 1
         payload = json.loads(out)
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["rule_set"] == [r.id for r in all_rules()]
         assert payload["clean"] is False
         assert payload["summary"]["findings"] == 1
         assert payload["summary"]["by_rule"] == {"DET001": 1}
+        timing = payload["timing"]
+        assert timing["per_file_seconds"] >= 0.0
+        assert timing["total_seconds"] >= timing["per_file_seconds"]
+        assert set(timing["program_rules"]) == {
+            r.id for r in all_rules() if hasattr(r, "check_program")
+        }
         finding = payload["findings"][0]
         assert set(finding) == {
             "rule", "severity", "path", "line", "col", "message", "hint",
@@ -861,10 +867,15 @@ class TestCli:
         assert payload["rules"]["DET001"]["severity"] == "error"
 
     def test_json_output_is_byte_stable(self, tmp_path):
+        # The timing key is wall-clock telemetry — the one sanctioned
+        # nondeterminism in the payload; everything else must be
+        # byte-identical across runs.
         root = self.make_tree(tmp_path, "import random\nx = random.random()\n")
         _, first, _ = self.run_cli(str(root), "--json")
         _, second, _ = self.run_cli(str(root), "--json")
-        assert first == second
+        a, b = json.loads(first), json.loads(second)
+        a.pop("timing"), b.pop("timing")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
 
     def test_write_then_check_baseline_roundtrip(self, tmp_path):
         root = self.make_tree(tmp_path, "import random\nx = random.random()\n")

@@ -319,7 +319,7 @@ class TestCliSurface:
         code, out, _ = run_cli("--rule", "SEED001", "--json", str(root))
         assert code == 0
         payload = json.loads(out)
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["rule_set"] == ["SEED001"]
 
     def test_unknown_rule_flag_is_usage_error(self, tmp_path):
