@@ -9,6 +9,7 @@ test runs.  Select with the ``REPRO_SCALE`` environment variable.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -204,6 +205,11 @@ class Laboratory:
         self.on_campaign: Callable[[CampaignRecord], None] | None = None
         self._observations: dict[str, ObservationSet] = {}
         self._heap_observations: dict[str, ObservationSet] = {}
+        # The campaign serving layer (repro.serve) calls observations()
+        # from executor threads while the owning process may touch the
+        # same memoization dicts from its main thread; the lock keeps
+        # the dict updates race-free (ASYNC003's discipline).
+        self._memory_lock = threading.Lock()
         self._evaluations: dict[str, PredictorEvaluation] = {}
         self._significant: list[str] | None = None
 
@@ -329,18 +335,22 @@ class Laboratory:
 
     def observations(self, name: str) -> ObservationSet:
         """The code-reordering campaign for one benchmark (cached)."""
-        cached = self._observations.get(name)
+        with self._memory_lock:
+            cached = self._observations.get(name)
         if cached is None:
             cached = self._measure_campaign(name, heap=False)
-            self._observations[name] = cached
+            with self._memory_lock:
+                self._observations[name] = cached
         return cached
 
     def heap_observations(self, name: str) -> ObservationSet:
         """The code+heap randomization campaign (cached)."""
-        cached = self._heap_observations.get(name)
+        with self._memory_lock:
+            cached = self._heap_observations.get(name)
         if cached is None:
             cached = self._measure_campaign(name, heap=True)
-            self._heap_observations[name] = cached
+            with self._memory_lock:
+                self._heap_observations[name] = cached
         return cached
 
     def prefetch(
@@ -377,9 +387,9 @@ class Laboratory:
                 start = telemetry.tick_seconds()
                 result = ObservationSet(benchmark=name)
                 result.extend(prefix[: self.scale.n_layouts])
-                self.store.stats.hits += 1
-                self.store.stats.layouts_loaded += len(result)
-                memory[name] = result
+                self.store.stats.record_hit(len(result))
+                with self._memory_lock:
+                    memory[name] = result
                 self._record(name, heap, 0, telemetry.tick_seconds() - start)
             else:
                 prefixes[name] = prefix
@@ -433,10 +443,11 @@ class Laboratory:
             measured = len(result) - len(prefixes[name])
             if self.store is not None:
                 self.store.save(self._campaign_key(name, heap), result)
-                self.store.stats.misses += 1
-                self.store.stats.layouts_loaded += len(prefixes[name])
-                self.store.stats.layouts_measured += measured
-            memory[name] = result
+                self.store.stats.record_miss(
+                    loaded=len(prefixes[name]), measured=measured
+                )
+            with self._memory_lock:
+                memory[name] = result
             self._record(name, heap, measured, per_campaign)
 
     def model(self, name: str) -> PerformanceModel:

@@ -1,0 +1,702 @@
+"""Event-loop context reachability for the ASYNC001–ASYNC004 rules.
+
+PR 10 gives the campaign engine an asyncio serving layer
+(:mod:`repro.serve`): coroutines own the event loop, blocking
+measurement work is offloaded to a thread-pool executor, and the two
+worlds exchange results through futures.  The contracts that keep that
+split correct — no blocking call on the loop, no dropped coroutine,
+no unguarded state shared across the boundary, bounded queues — are
+all *reachability* properties, so this module extends the PR-4 call
+graph with an event-loop context model, the async sibling of
+:mod:`repro.lint.threadflow`:
+
+* :class:`AsyncFlowModel` labels every indexed function with the
+  contexts that can execute it: ``"loop"`` (reachable from
+  ``asyncio.run(...)``, task creation, ``start_server`` callbacks, or
+  ``call_soon_threadsafe`` handoffs — all of which execute on the
+  event-loop thread) and ``"executor"`` (reachable from a callable
+  handed to ``loop.run_in_executor(...)`` or ``asyncio.to_thread``).
+  The empty set means "never touched by async machinery, as far as
+  the analysis can prove".
+* The model also computes, per function, whether calling it *blocks
+  the calling thread* (``time.sleep``, builtin ``open``, socket and
+  subprocess calls, ``Future.result``, ``Lock.acquire``, or any
+  transitively-blocking **sync** callee — an async callee blocks its
+  own coroutine, which ASYNC001 flags at that site instead).
+
+Precision rules, inherited from the rest of the lint subsystem:
+
+* **UNKNOWN never flags.**  Unresolvable callables contribute no
+  context and no blocking evidence.  Dynamic (method-name-match) call
+  edges are excluded from reachability: an over-approximated context
+  would manufacture false cross-context findings.
+* To make ``self.<attr>.method()`` chains resolvable *without* dynamic
+  edges, the model infers attribute types per class from ``__init__``
+  evidence: ``self.x = Cls(...)``, ``self.x = param`` where the
+  parameter is annotated with a program class, and the
+  ``None if … else Cls(...)`` optional-dependency idiom.  The typed
+  edges this produces are static facts (single assignment site), not
+  name matches.
+* Deferred bodies — nested ``def``s and ``lambda``s — are *excluded*
+  from the blocking analysis (their calls do not execute when the
+  enclosing function runs) but their resolvable calls do seed context
+  reachability, mirroring how the call graph attributes them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+)
+from repro.lint.dataflow import FunctionDataflow
+from repro.lint.threadflow import (
+    LOCK_NAME_RE,
+    _local_instance_class,
+    _resolve_callable,
+)
+
+#: The async execution contexts the model distinguishes.  "main" is
+#: implicit: a function in neither set never runs under the loop.
+CONTEXTS = ("loop", "executor")
+
+#: Calls whose first argument is a coroutine (or coroutine call) that
+#: the event loop will execute.
+_LOOP_FUNCTIONS = frozenset(
+    {
+        "asyncio.run",
+        "asyncio.create_task",
+        "asyncio.ensure_future",
+        "asyncio.wait_for",
+        "asyncio.shield",
+    }
+)
+
+#: ``asyncio.gather(coro_a(), coro_b())`` — every argument runs on the loop.
+_GATHER_FUNCTIONS = frozenset({"asyncio.gather"})
+
+#: Server factories whose first argument is a per-connection callback
+#: executed on the loop.
+_SERVER_FUNCTIONS = frozenset({"asyncio.start_server", "asyncio.start_unix_server"})
+
+#: ``asyncio.to_thread(fn, ...)`` — fn runs in an executor thread.
+_TO_THREAD_FUNCTIONS = frozenset({"asyncio.to_thread"})
+
+#: Method names that hand a callable to the loop from any thread; the
+#: callable itself executes on the event-loop thread, which is exactly
+#: why ASYNC003 treats this as the sanctioned cross-context handoff.
+_LOOP_CALLBACK_METHODS = frozenset({"call_soon", "call_soon_threadsafe", "call_later"})
+
+#: Method names that schedule a coroutine on the loop.  ``create_task``
+#: and ``ensure_future`` are asyncio vocabulary regardless of receiver
+#: (``loop.create_task``, ``tg.create_task``).
+_TASK_METHODS = frozenset({"create_task", "ensure_future"})
+
+#: ``loop.run_in_executor(executor, fn, *args)`` — fn (arg index 1)
+#: runs in an executor thread.
+_EXECUTOR_METHOD = "run_in_executor"
+
+#: Constructors of asyncio synchronization/queue primitives.  These are
+#: loop-confined objects with their own discipline; attributes holding
+#: them are exempt from ASYNC003 (they *are* the sanctioned handoff).
+ASYNC_PRIMITIVE_CONSTRUCTORS = frozenset(
+    {
+        "asyncio.Lock",
+        "asyncio.Event",
+        "asyncio.Condition",
+        "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+        "asyncio.Queue",
+        "asyncio.LifoQueue",
+        "asyncio.PriorityQueue",
+    }
+)
+
+#: Canonical dotted names whose call blocks the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.system",
+        "os.waitpid",
+        "urllib.request.urlopen",
+        "shutil.copytree",
+        "shutil.rmtree",
+    }
+)
+
+#: Builtins whose call blocks on I/O.  Resolved by bare name, guarded
+#: against local shadowing by the module symbol table.
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+#: Receiver-name lexicon for ``.result()`` — concurrent futures block.
+FUTURE_NAME_RE = re.compile(r"(^|_)(future|fut)s?$")
+
+#: Receiver-name lexicon for ``.get()``/``.put()``/``.join()`` on
+#: thread-side queues (``queue.Queue``); the no-argument forms block.
+QUEUE_NAME_RE = re.compile(r"(^|_)(queue|q)$")
+
+
+@dataclass(frozen=True)
+class AsyncEntry:
+    """One resolved async entry: context plus where it was bound."""
+
+    context: str  # "loop" | "executor"
+    qualname: str
+    rel: str
+    line: int
+
+
+@dataclass(frozen=True)
+class BlockingReason:
+    """Why calling a function blocks the calling thread."""
+
+    #: Human description of the root blocking site ("time.sleep").
+    what: str
+    #: ``rel:line`` of the root blocking call.
+    where: str
+    #: Qualname chain from the function to the root site ([] = direct).
+    via: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if not self.via:
+            return f"{self.what} ({self.where})"
+        chain = " -> ".join(self.via)
+        return f"{self.what} ({self.where}) via {chain}"
+
+
+def receiver_name(expr: ast.expr) -> str | None:
+    """Terminal identifier of a call receiver: ``self._lock`` -> ``_lock``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def is_awaited(call: ast.Call) -> bool:
+    """Whether *call* is the direct operand of an ``await``."""
+    return isinstance(getattr(call, "parent", None), ast.Await)
+
+
+def blocking_call_reason(module: ModuleInfo, call: ast.Call) -> str | None:
+    """Lexicon verdict: what a call blocks on, or None.
+
+    Awaited calls never block the thread — the await *is* the yield
+    point — so callers should filter with :func:`is_awaited` first.
+    """
+    dotted = module.imports.resolve(call.func)
+    if dotted in BLOCKING_CALLS:
+        return dotted
+    func = call.func
+    if isinstance(func, ast.Name):
+        if (
+            func.id in BLOCKING_BUILTINS
+            and func.id not in module.functions
+            and func.id not in module.imports.aliases
+            and func.id not in module.module_level_names
+        ):
+            return f"builtin {func.id}()"
+        return None
+    if isinstance(func, ast.Attribute):
+        name = receiver_name(func.value)
+        if name is None:
+            return None
+        if func.attr == "acquire" and LOCK_NAME_RE.search(name):
+            return f"{name}.acquire()"
+        if func.attr == "result" and FUTURE_NAME_RE.search(name):
+            return f"{name}.result()"
+        if QUEUE_NAME_RE.search(name):
+            # dict.get(key) takes arguments; queue.Queue.get() blocks
+            # with none.  put()/join() have no dict homonym.
+            if func.attr == "get" and not call.args and not call.keywords:
+                return f"{name}.get()"
+            if func.attr in ("put", "join"):
+                return f"{name}.{func.attr}()"
+    return None
+
+
+def direct_calls(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    """Calls that execute when this body runs: deferred bodies skipped.
+
+    Nested ``def``s and ``lambda``s are closures — creating one is not
+    calling it — so their internal calls are excluded.  This is the
+    precision counterpart of the call graph's over-approximation
+    (which attributes nested calls to the enclosing function).
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncFlowModel:
+    """Which async contexts can execute each function, program-wide."""
+
+    def __init__(self, program: Program, callgraph: CallGraph) -> None:
+        self.program = program
+        self.callgraph = callgraph
+        #: (class qualname, attr) -> ClassInfo, from __init__ evidence.
+        self.attr_types = self._infer_attr_types()
+        #: qualname -> {callee qualname} resolved through typed attrs.
+        self.typed_edges: dict[str, set[str]] = {}
+        #: (scope qualname) -> [(call node, [targets])] — executing
+        #: (non-deferred) calls only, statically + typed resolved.
+        self.resolved_calls: dict[str, list[tuple[ast.Call, list[FunctionInfo]]]] = {}
+        self._build_typed_edges()
+        self.entries: list[AsyncEntry] = self._find_entries()
+        self._reachable: dict[str, set[str]] = {}
+        for context in CONTEXTS:
+            roots = {e.qualname for e in self.entries if e.context == context}
+            self._reachable[context] = self._reach(roots)
+        self.blocking: dict[str, BlockingReason] = self._compute_blocking()
+
+    # -- typed attribute resolution ------------------------------------
+
+    def _infer_attr_types(self) -> dict[tuple[str, str], ClassInfo]:
+        """``self.<attr>`` types provable from a class's ``__init__``.
+
+        Evidence accepted: ``self.x = Cls(...)`` where ``Cls`` is a
+        program class; ``self.x = param`` where the parameter is
+        annotated with a program class; and the optional-dependency
+        idiom ``self.x = None if cond else Cls(...)`` (either arm).
+        A second, conflicting assignment to the same attribute voids
+        the inference — UNKNOWN never flags.
+        """
+        types: dict[tuple[str, str], ClassInfo] = {}
+        conflicted: set[tuple[str, str]] = set()
+        for qualname in sorted(self.program.classes):
+            cls = self.program.classes[qualname]
+            module = self.program.modules.get(cls.rel)
+            init = cls.methods.get("__init__")
+            if module is None or init is None:
+                continue
+            params = self._annotated_params(module, init)
+            for node in ast.walk(init.node):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                key = (qualname, target.attr)
+                inferred = self._value_class(module, params, node.value)
+                if inferred is None:
+                    conflicted.add(key)
+                elif key in types and types[key] is not inferred:
+                    conflicted.add(key)
+                else:
+                    types[key] = inferred
+        for key in conflicted:
+            types.pop(key, None)
+        return types
+
+    def _annotated_params(
+        self, module: ModuleInfo, fn: FunctionInfo
+    ) -> dict[str, ClassInfo]:
+        """Parameters of *fn* annotated with a program class."""
+        out: dict[str, ClassInfo] = {}
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None:
+                continue
+            cls = self._class_of_annotation(module, arg.annotation)
+            if cls is not None:
+                out[arg.arg] = cls
+        return out
+
+    def _class_of_annotation(
+        self, module: ModuleInfo, annotation: ast.expr
+    ) -> ClassInfo | None:
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        # Optional[X] / X | None: the object, when present, is an X.
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            for side in (annotation.left, annotation.right):
+                cls = self._class_of_annotation(module, side)
+                if cls is not None:
+                    return cls
+            return None
+        if isinstance(annotation, ast.Name):
+            local = module.classes.get(annotation.id)
+            if local is not None:
+                return local
+        dotted = module.imports.resolve(annotation)
+        if dotted is not None:
+            hit = self.program.resolve_dotted(dotted)
+            if isinstance(hit, ClassInfo):
+                return hit
+        return None
+
+    def _value_class(
+        self,
+        module: ModuleInfo,
+        params: dict[str, ClassInfo],
+        value: ast.expr,
+    ) -> ClassInfo | None:
+        if isinstance(value, ast.Call):
+            return self.program.instantiated_class(module, value)
+        if isinstance(value, ast.Name):
+            return params.get(value.id)
+        if isinstance(value, ast.IfExp):
+            arms = [
+                self._value_class(module, params, arm)
+                for arm in (value.body, value.orelse)
+                if not (isinstance(arm, ast.Constant) and arm.value is None)
+            ]
+            arms = [a for a in arms if a is not None]
+            if len(arms) == 1:
+                return arms[0]
+        return None
+
+    def _attr_chain_class(
+        self, scope_fn: FunctionInfo | None, expr: ast.expr
+    ) -> ClassInfo | None:
+        """Static type of ``self.a.b.c`` through the inferred attr map."""
+        chain: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not (
+            isinstance(node, ast.Name)
+            and node.id == "self"
+            and scope_fn is not None
+            and scope_fn.class_name is not None
+        ):
+            return None
+        module = self.program.modules.get(scope_fn.rel)
+        if module is None:
+            return None
+        owner = module.classes.get(scope_fn.class_name)
+        if owner is None:
+            return None
+        current = owner
+        for attr in reversed(chain):
+            nxt = self.attr_types.get((current.qualname, attr))
+            if nxt is None:
+                return None
+            current = nxt
+        return current
+
+    def resolve_typed_call(
+        self, scope_fn: FunctionInfo | None, call: ast.Call
+    ) -> FunctionInfo | None:
+        """Resolve ``self.a.b.method(...)`` through typed attributes."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = self._attr_chain_class(scope_fn, func.value)
+        if owner is None:
+            return None
+        return self.program.resolve_method(owner, func.attr)
+
+    # -- call resolution (static + typed) ------------------------------
+
+    def _scopes(
+        self,
+    ) -> Iterator[tuple[ModuleInfo, str, FunctionInfo | None, list[ast.stmt]]]:
+        for rel in sorted(self.program.modules):
+            module = self.program.modules[rel]
+            top = [
+                stmt
+                for stmt in module.tree.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+            yield module, f"{module.modname}.<module>", None, top
+            for name in sorted(module.functions):
+                fn = module.functions[name]
+                yield module, fn.qualname, fn, list(fn.node.body)
+            for class_name in sorted(module.classes):
+                cls = module.classes[class_name]
+                for method_name in sorted(cls.methods):
+                    method = cls.methods[method_name]
+                    yield module, method.qualname, method, list(method.node.body)
+
+    def _resolve_call(
+        self,
+        module: ModuleInfo,
+        scope_fn: FunctionInfo | None,
+        call: ast.Call,
+        flow: FunctionDataflow | None = None,
+    ) -> list[FunctionInfo]:
+        """Static targets of one call; typed-attr resolution as fallback."""
+        targets, dynamic = self.program.resolve_call(module, scope_fn, call)
+        if targets and not dynamic:
+            return targets
+        typed = self.resolve_typed_call(scope_fn, call)
+        if typed is not None:
+            return [typed]
+        # ``svc = Service(); svc.bump()`` — a local whose single
+        # construction site is visible resolves like a typed attribute.
+        func = call.func
+        if (
+            flow is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+        ):
+            owner = _local_instance_class(
+                self.program, module, flow, func.value.id
+            )
+            if owner is not None:
+                method = self.program.resolve_method(owner, func.attr)
+                if method is not None:
+                    return [method]
+        return []
+
+    def _scope_flow(
+        self, module: ModuleInfo, scope_fn: FunctionInfo | None
+    ) -> FunctionDataflow | None:
+        if scope_fn is None:
+            return None
+        return FunctionDataflow(
+            scope_fn.node, module_constants=module.module_level_names
+        )
+
+    def _build_typed_edges(self) -> None:
+        for module, qualname, scope_fn, body in self._scopes():
+            flow = self._scope_flow(module, scope_fn)
+            resolved: list[tuple[ast.Call, list[FunctionInfo]]] = []
+            for call in direct_calls(body):
+                targets = self._resolve_call(module, scope_fn, call, flow)
+                resolved.append((call, targets))
+                for target in targets:
+                    self.typed_edges.setdefault(qualname, set()).add(
+                        target.qualname
+                    )
+            self.resolved_calls[qualname] = resolved
+            # Deferred bodies still seed reachability (the closure is
+            # invoked downstream in the same logical task), just not
+            # the blocking analysis.
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        for target in self._resolve_call(
+                            module, scope_fn, node, flow
+                        ):
+                            self.typed_edges.setdefault(qualname, set()).add(
+                                target.qualname
+                            )
+
+    # -- entry points --------------------------------------------------
+
+    def _find_entries(self) -> list[AsyncEntry]:
+        entries: list[AsyncEntry] = []
+        for module, _qualname, scope_fn, body in self._scopes():
+            flow = (
+                FunctionDataflow(
+                    scope_fn.node, module_constants=module.module_level_names
+                )
+                if scope_fn is not None
+                else None
+            )
+            nested = {
+                n.name: n
+                for stmt in body
+                for n in ast.walk(stmt)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for context, target in self._entry_targets(module, node):
+                        for fn in self._resolve_entry_callable(
+                            module, scope_fn, flow, nested, target
+                        ):
+                            entries.append(
+                                AsyncEntry(
+                                    context=context,
+                                    qualname=fn.qualname,
+                                    rel=module.rel,
+                                    line=getattr(node, "lineno", 0),
+                                )
+                            )
+        return entries
+
+    def _entry_targets(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Iterator[tuple[str, ast.expr]]:
+        """``(context, callable_expr)`` pairs a call hands to asyncio."""
+        dotted = module.imports.resolve(call.func)
+        if dotted in _LOOP_FUNCTIONS and call.args:
+            yield "loop", call.args[0]
+            return
+        if dotted in _GATHER_FUNCTIONS:
+            for arg in call.args:
+                if not isinstance(arg, ast.Starred):
+                    yield "loop", arg
+            return
+        if dotted in _SERVER_FUNCTIONS and call.args:
+            yield "loop", call.args[0]
+            return
+        if dotted in _TO_THREAD_FUNCTIONS and call.args:
+            yield "executor", call.args[0]
+            return
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == _EXECUTOR_METHOD and len(call.args) >= 2:
+                yield "executor", call.args[1]
+            elif func.attr in _TASK_METHODS and call.args:
+                yield "loop", call.args[0]
+            elif func.attr in _LOOP_CALLBACK_METHODS and call.args:
+                # call_later(delay, cb) — the callable is the second
+                # argument; call_soon*(cb, ...) — the first.
+                index = 1 if func.attr == "call_later" else 0
+                if len(call.args) > index:
+                    yield "loop", call.args[index]
+
+    def _resolve_entry_callable(
+        self,
+        module: ModuleInfo,
+        scope_fn: FunctionInfo | None,
+        flow: FunctionDataflow | None,
+        nested: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+        expr: ast.expr,
+    ) -> list[FunctionInfo]:
+        """Resolve a callable-or-coroutine expression to functions.
+
+        ``asyncio.run(main())`` passes a coroutine *call*; task and
+        callback APIs pass the callable itself (possibly wrapped in
+        ``functools.partial``).  Both shapes resolve to the underlying
+        function; anything else is UNKNOWN and contributes nothing.
+        """
+        if isinstance(expr, ast.Call):
+            dotted = module.imports.resolve(expr.func)
+            if dotted in ("functools.partial", "partial") and expr.args:
+                return self._resolve_entry_callable(
+                    module, scope_fn, flow, nested, expr.args[0]
+                )
+            # Covers ``asyncio.run(server.serve_until_shutdown())``:
+            # the local-instance fallback in _resolve_call sees the
+            # single construction site of ``server``.
+            return self._resolve_call(module, scope_fn, expr, flow)
+        fns, _nested_def = _resolve_callable(
+            self.program, module, scope_fn, flow, nested, expr
+        )
+        if fns:
+            return fns
+        typed_owner = (
+            self._attr_chain_class(scope_fn, expr.value)
+            if isinstance(expr, ast.Attribute)
+            else None
+        )
+        if typed_owner is not None:
+            method = self.program.resolve_method(typed_owner, expr.attr)
+            if method is not None:
+                return [method]
+        return []
+
+    # -- reachability --------------------------------------------------
+
+    def _reach(self, roots: set[str]) -> set[str]:
+        """Closure over static call-graph edges plus typed edges."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callgraph.edges.get(current, ()))
+            stack.extend(self.typed_edges.get(current, ()))
+        return seen
+
+    def contexts_of(self, qualname: str) -> frozenset[str]:
+        """Async contexts that can execute *qualname* (∅ = untouched)."""
+        return frozenset(
+            context
+            for context in CONTEXTS
+            if qualname in self._reachable[context]
+        )
+
+    def is_coroutine(self, qualname: str) -> bool:
+        fn = self.program.functions.get(qualname)
+        return fn is not None and isinstance(fn.node, ast.AsyncFunctionDef)
+
+    # -- blocking analysis ---------------------------------------------
+
+    def _compute_blocking(self) -> dict[str, BlockingReason]:
+        """Fixpoint: which functions block the thread that calls them.
+
+        Seeds are direct lexicon hits in *sync* functions; blocking
+        propagates backwards along sync-to-sync call edges only.
+        Coroutines never mark their callers — awaiting one yields
+        rather than blocks, and a blocking call *inside* a coroutine
+        is ASYNC001's finding at that site.
+        """
+        blocking: dict[str, BlockingReason] = {}
+        for qualname, fn in self.program.functions.items():
+            if isinstance(fn.node, ast.AsyncFunctionDef):
+                continue
+            module = self.program.modules.get(fn.rel)
+            if module is None:
+                continue
+            for call in direct_calls(list(fn.node.body)):
+                what = blocking_call_reason(module, call)
+                if what is not None:
+                    blocking[qualname] = BlockingReason(
+                        what=what,
+                        where=f"{fn.rel}:{getattr(call, 'lineno', 0)}",
+                    )
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for qualname, resolved in self.resolved_calls.items():
+                fn = self.program.functions.get(qualname)
+                if fn is None or isinstance(fn.node, ast.AsyncFunctionDef):
+                    continue
+                if qualname in blocking:
+                    continue
+                for call, targets in resolved:
+                    if is_awaited(call):
+                        continue
+                    for target in targets:
+                        reason = blocking.get(target.qualname)
+                        if reason is None or self.is_coroutine(target.qualname):
+                            continue
+                        blocking[qualname] = BlockingReason(
+                            what=reason.what,
+                            where=reason.where,
+                            via=(target.qualname,) + reason.via,
+                        )
+                        changed = True
+                        break
+                    if qualname in blocking:
+                        break
+        return blocking
+
+    def blocking_reason_of(self, qualname: str) -> BlockingReason | None:
+        """Why calling *qualname* blocks, or None if it provably may not."""
+        return self.blocking.get(qualname)

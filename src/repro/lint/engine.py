@@ -42,9 +42,9 @@ from repro.lint.rules.base import (
 
 #: Inline suppression syntax: ``# repro: allow-DET001 <one-line reason>``.
 #: The rule pattern covers per-file ids (DET001) and whole-program ids
-#: (SEED001, PURE001, EXC001, CONC001) alike.
+#: (SEED001, PURE001, EXC001, CONC001, ASYNC001) alike.
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*allow-(?P<rule>[A-Z]{3,4}\d{3})(?:\s+(?P<reason>\S.*))?"
+    r"#\s*repro:\s*allow-(?P<rule>[A-Z]{3,5}\d{3})(?:\s+(?P<reason>\S.*))?"
 )
 
 #: Default baseline filename (repo root, checked in).

@@ -8,12 +8,17 @@ interprocedural pack (``SEED001``, ``PURE001``, ``EXC001``,
 :mod:`repro.lint.threadflow` (``CONC002``–``CONC005``), the dtype
 pack riding :mod:`repro.lint.dtypeflow` (``VEC001``/``VEC002``), and
 the hot-path performance pack riding :mod:`repro.lint.perfflow`
-(``PERF001``–``PERF004``).  Importing this package registers every
-rule; the engine then iterates
+(``PERF001``–``PERF004``), and the event-loop contract pack riding
+:mod:`repro.lint.asyncflow` (``ASYNC001``–``ASYNC004``).  Importing
+this package registers every rule; the engine then iterates
 :func:`~repro.lint.rules.base.all_rules`.
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
+    async001_blocking,
+    async002_orphan,
+    async003_shared_state,
+    async004_backpressure,
     conc001_boundary,
     conc002_shared_state,
     conc003_signal_safety,

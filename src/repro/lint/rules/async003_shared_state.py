@@ -1,0 +1,168 @@
+"""ASYNC003 — state shared across loop/executor contexts without handoff.
+
+The serving layer's split — coroutines on the event-loop thread,
+measurement work in executor threads — reintroduces CONC002's data
+race in async clothing: an attribute compound-mutated from an executor
+thread while the loop (or the main thread) reads or mutates it loses
+updates depending on scheduling.  The GIL serializes bytecodes, not
+read-modify-write sequences.
+
+The rule mirrors CONC002 over the
+:class:`~repro.lint.asyncflow.AsyncFlowModel`'s contexts: a compound
+mutation (``+=``, ``.append``, ``self.x[i] = …``, ``self.x = f(self.x)``)
+of ``self.<attr>`` flags when another method touching the same
+attribute runs under a provably *different* context set and one side
+of the pair involves the event loop — executor-vs-plain-thread
+sharing is CONC002's jurisdiction, and re-flagging it here would
+double-report without adding the loop-specific remedy.  Sanctioned
+handoffs silence it:
+
+* **Lock discipline** — the mutation sits inside ``with self.<lock>:``.
+* **asyncio primitives** — attributes holding ``asyncio.Lock`` /
+  ``Queue`` / ``Event`` / … have their own loop-confined discipline.
+* **call_soon_threadsafe** — a callable handed to the loop via
+  ``call_soon_threadsafe`` *executes on the loop thread*; the model
+  labels it ``loop`` context, so both sides agree and nothing flags.
+* **threading.Event / plain stores** — inherited from threadflow's
+  facts, same as CONC002.
+
+Functions the async machinery never reaches conflict with nothing,
+and unresolvable callables contribute no context: UNKNOWN never flags.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.asyncflow import ASYNC_PRIMITIVE_CONSTRUCTORS
+from repro.lint.rules.async001_blocking import asyncflow_model, in_scope
+from repro.lint.rules.base import (
+    Finding,
+    ProgramContext,
+    ProgramRule,
+    register,
+)
+from repro.lint.threadflow import AttributeUse, analyze_class
+
+import ast
+
+
+def _async_primitive_attrs(module, cls) -> set[str]:
+    """Attributes assigned an asyncio primitive anywhere in the class."""
+    attrs: set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if (
+                isinstance(node.value, ast.Call)
+                and module.imports.resolve(node.value.func)
+                in ASYNC_PRIMITIVE_CONSTRUCTORS
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+@register
+class AsyncSharedStateRule(ProgramRule):
+    """Cross loop/executor mutation needs a lock or an asyncio primitive."""
+
+    id = "ASYNC003"
+    title = "state shared between event-loop and executor contexts"
+    severity = "error"
+    tier = "async"
+    rationale = (
+        "an attribute compound-mutated from an executor thread while "
+        "the event loop touches it loses updates depending on thread "
+        "scheduling; the GIL does not make read-modify-write atomic"
+    )
+    hint = (
+        "guard the mutation with `with self._lock:`, hand results "
+        "across with `loop.call_soon_threadsafe(...)` or a future, or "
+        "confine the state to one context"
+    )
+
+    def check_program(self, ctx: ProgramContext) -> Iterator[Finding]:
+        model = asyncflow_model(ctx)
+        program = ctx.program
+        for rel in sorted(program.modules):
+            if not in_scope(rel):
+                continue
+            module = program.modules[rel]
+            for class_name in sorted(module.classes):
+                cls = module.classes[class_name]
+                facts = analyze_class(module, cls)
+                yield from self._check_class(model, module, cls, facts)
+
+    def _check_class(self, model, module, cls, facts) -> Iterator[Finding]:
+        exempt = (
+            facts.lock_attrs
+            | facts.event_attrs
+            | _async_primitive_attrs(module, cls)
+        )
+        by_attr: dict[str, list[AttributeUse]] = {}
+        for use in facts.uses:
+            if use.method.qualname.endswith(".__init__"):
+                # Pre-publication: __init__ completes before the object
+                # can reach the loop or an executor thread.
+                continue
+            if use.attr not in exempt:
+                by_attr.setdefault(use.attr, []).append(use)
+        for attr in sorted(by_attr):
+            uses = by_attr[attr]
+            contexts = {
+                use.method.qualname: model.contexts_of(use.method.qualname)
+                for use in uses
+            }
+            if not any(contexts.values()):
+                continue  # the async machinery never touches this attr
+            for use in uses:
+                if not use.is_hazard or use.held_locks:
+                    continue
+                mine = contexts[use.method.qualname]
+                # The conflicting pair must cross the event-loop
+                # boundary: executor-vs-plain-thread sharing is
+                # threadflow's (CONC002) jurisdiction, not the loop
+                # contract's.
+                other = next(
+                    (
+                        u
+                        for u in uses
+                        if contexts[u.method.qualname] != mine
+                        and "loop" in (mine | contexts[u.method.qualname])
+                    ),
+                    None,
+                )
+                if other is None:
+                    continue
+                yield self.finding_at(
+                    module.rel,
+                    use.node,
+                    f"{use.method.qualname}() mutates self.{attr} "
+                    f"({_KINDS[use.kind]}) in async context "
+                    f"{_ctx(mine)}, but "
+                    f"{other.method.qualname}() touches it in context "
+                    f"{_ctx(contexts[other.method.qualname])} — no lock, "
+                    "asyncio primitive, or call_soon_threadsafe handoff "
+                    "guards the read-modify-write",
+                    source_line=module.source_text(use.node),
+                )
+
+
+_KINDS = {
+    "augstore": "augmented assignment",
+    "mutcall": "in-place container mutation",
+    "substore": "subscript store",
+    "rmw": "self-referencing reassignment",
+}
+
+
+def _ctx(contexts: frozenset[str]) -> str:
+    return "{" + (", ".join(sorted(contexts)) or "outside async") + "}"

@@ -102,7 +102,10 @@ class RuleContext:
 
 
 #: Analyzer tiers, in the order the CI matrix runs them.
-TIERS = ("per-file", "interprocedural", "units", "concurrency", "dtype", "perf")
+TIERS = (
+    "per-file", "interprocedural", "units", "concurrency", "dtype", "perf",
+    "async",
+)
 
 
 class Rule:

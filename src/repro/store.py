@@ -31,6 +31,7 @@ import hashlib
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -114,7 +115,16 @@ class CampaignKey:
 
 @dataclass
 class StoreStats:
-    """Hit/miss and layout counters for one store instance."""
+    """Hit/miss and layout counters for one store instance.
+
+    Counters are mutated through the ``record_*`` methods only, each a
+    single critical section under an internal lock: the serving layer
+    (:mod:`repro.serve`) drives one store from several executor threads
+    at once, and unguarded ``+=`` read-modify-writes would lose counts
+    (the draft defect ASYNC003 was built to catch).  The plain integer
+    attributes remain readable for tests and summaries; readers wanting
+    a consistent multi-counter view take :meth:`snapshot`.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -122,15 +132,52 @@ class StoreStats:
     layouts_measured: int = 0
     quarantined: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record_hit(self, layouts: int) -> None:
+        """A campaign served entirely from the store."""
+        with self._lock:
+            self.hits += 1
+            self.layouts_loaded += layouts
+
+    def record_miss(self, loaded: int, measured: int) -> None:
+        """A campaign that needed measurement (partial reuse counted)."""
+        with self._lock:
+            self.misses += 1
+            self.layouts_loaded += loaded
+            self.layouts_measured += measured
+
+    def record_quarantine(self) -> None:
+        """A corrupt store file was moved aside."""
+        with self._lock:
+            self.quarantined += 1
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time view of every counter."""
+        with self._lock:
+            requests = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "layouts_loaded": self.layouts_loaded,
+                "layouts_measured": self.layouts_measured,
+                "quarantined": self.quarantined,
+                "hit_rate": self.hits / requests if requests else 0.0,
+            }
+
     def summary(self) -> str:
         """One-line rendering for CLI summaries."""
+        view = self.snapshot()
         quarantine = (
-            f", {self.quarantined} quarantined" if self.quarantined else ""
+            f", {view['quarantined']} quarantined"
+            if view["quarantined"]
+            else ""
         )
         return (
-            f"{self.hits} hits, {self.misses} misses{quarantine}; "
-            f"{self.layouts_loaded} layouts loaded, "
-            f"{self.layouts_measured} measured"
+            f"{view['hits']} hits, {view['misses']} misses{quarantine}; "
+            f"{view['layouts_loaded']} layouts loaded, "
+            f"{view['layouts_measured']} measured"
         )
 
 
@@ -172,7 +219,7 @@ class CampaignStore:
             except OSError:
                 return None
             target = None
-        self.stats.quarantined += 1
+        self.stats.record_quarantine()
         _LOG.warning(
             "quarantined corrupt campaign file %s -> %s (%s); "
             "the campaign will be re-measured",
@@ -266,8 +313,7 @@ class CampaignStore:
         stored = self.load(key)
         prefix = list(stored.observations) if stored is not None else []
         if len(prefix) >= n_layouts:
-            self.stats.hits += 1
-            self.stats.layouts_loaded += n_layouts
+            self.stats.record_hit(n_layouts)
             result = ObservationSet(benchmark=key.benchmark)
             result.extend(prefix[:n_layouts])
             return result
@@ -277,9 +323,7 @@ class CampaignStore:
                 f"measure callback returned {len(fresh)} observations, "
                 f"expected {n_layouts - len(prefix)}"
             )
-        self.stats.misses += 1
-        self.stats.layouts_loaded += len(prefix)
-        self.stats.layouts_measured += len(fresh)
+        self.stats.record_miss(loaded=len(prefix), measured=len(fresh))
         result = ObservationSet(benchmark=key.benchmark)
         result.extend(prefix + fresh)
         self.save(key, result)

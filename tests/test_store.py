@@ -291,3 +291,61 @@ class TestEscalationWithStore:
         stored = CampaignStore(tmp_path).load(key)
         assert stored is not None
         assert len(stored) == result.samples_used
+
+
+class TestStoreStatsThreadSafety:
+    """The serving layer mutates one store's stats from executor threads
+    while the event loop reads them; every increment must survive."""
+
+    def test_concurrent_recording_loses_no_counts(self):
+        import threading
+
+        from repro.store import StoreStats
+
+        stats = StoreStats()
+        workers, rounds = 8, 500
+        barrier = threading.Barrier(workers)
+
+        def hammer() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                stats.record_hit(layouts=2)
+                stats.record_miss(loaded=1, measured=3)
+                stats.record_quarantine()
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = workers * rounds
+        assert stats.hits == total
+        assert stats.misses == total
+        assert stats.quarantined == total
+        assert stats.layouts_loaded == 3 * total
+        assert stats.layouts_measured == 3 * total
+
+    def test_snapshot_is_consistent_under_concurrent_writes(self):
+        import threading
+
+        from repro.store import StoreStats
+
+        stats = StoreStats()
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                stats.record_hit(layouts=1)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                view = stats.snapshot()
+                # hits and layouts_loaded move in lockstep inside one
+                # critical section; a snapshot may never observe a gap.
+                assert view["hits"] == view["layouts_loaded"]
+        finally:
+            stop.set()
+            thread.join()
